@@ -1,0 +1,49 @@
+//! Ablation benches (DESIGN.md A–E): prints each ablation table at quick
+//! scale and times one representative configuration per ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pmacc_bench::figures;
+use pmacc_bench::grid::{run_cell, Scale};
+use pmacc_types::SchemeKind;
+use pmacc_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    for (name, table) in [
+        ("A (TC size)", figures::ablation_txcache_size(Scale::Quick, 42)),
+        ("B (overflow)", figures::ablation_overflow(Scale::Quick, 42)),
+        ("C (NVM latency)", figures::ablation_nvm_latency(Scale::Quick, 42)),
+        ("D (coalescing)", figures::ablation_coalesce(Scale::Quick, 42)),
+        ("E (SP fencing)", figures::ablation_sp_fencing(Scale::Quick, 42)),
+    ] {
+        match table {
+            Ok(t) => println!("\n{t}"),
+            Err(e) => panic!("ablation {name} failed: {e}"),
+        }
+    }
+
+    let mut g = c.benchmark_group("ablation_cells");
+    g.sample_size(10);
+    g.bench_function("tiny_txcache_sps", |b| {
+        b.iter(|| {
+            let mut machine = Scale::Quick.machine().with_scheme(SchemeKind::TxCache);
+            machine.txcache.size_bytes = 512;
+            run_cell(machine, WorkloadKind::Sps, Scale::Quick, 1)
+                .expect("cell runs")
+                .tc_overflows()
+        });
+    });
+    g.bench_function("slow_nvm_rbtree", |b| {
+        b.iter(|| {
+            let mut machine = Scale::Quick.machine().with_scheme(SchemeKind::TxCache);
+            machine.nvm.write_ns = 304.0;
+            run_cell(machine, WorkloadKind::Rbtree, Scale::Quick, 1)
+                .expect("cell runs")
+                .ipc()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 6 (normalized IPC) bench: times one grid cell per scheme on a
+//! representative workload, and prints the full quick-scale figure once.
+//!
+//! Regenerate the figure itself with
+//! `cargo run --release -p pmacc-bench --bin reproduce -- fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pmacc_bench::figures;
+use pmacc_bench::grid::{run_cell, run_grid, Scale};
+use pmacc_types::SchemeKind;
+use pmacc_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    // Print the reduced-scale figure once so `cargo bench` reproduces the
+    // rows alongside the timing numbers.
+    let grid = run_grid(Scale::Quick, 42, false).expect("grid runs");
+    println!("\n{}", figures::fig6(&grid));
+
+    let mut g = c.benchmark_group("fig6_ipc_cell");
+    g.sample_size(10);
+    for scheme in SchemeKind::all() {
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter(|| {
+                run_cell(
+                    Scale::Quick.machine().with_scheme(scheme),
+                    WorkloadKind::Sps,
+                    Scale::Quick,
+                    1,
+                )
+                .expect("cell runs")
+                .ipc()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

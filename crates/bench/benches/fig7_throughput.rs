@@ -1,0 +1,37 @@
+//! Figure 7 (normalized transaction throughput) bench.
+//!
+//! Regenerate the figure with
+//! `cargo run --release -p pmacc-bench --bin reproduce -- fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pmacc_bench::figures;
+use pmacc_bench::grid::{run_cell, run_grid, Scale};
+use pmacc_types::SchemeKind;
+use pmacc_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let grid = run_grid(Scale::Quick, 42, false).expect("grid runs");
+    println!("\n{}", figures::fig7(&grid));
+
+    let mut g = c.benchmark_group("fig7_throughput_cell");
+    g.sample_size(10);
+    for scheme in [SchemeKind::Sp, SchemeKind::TxCache] {
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter(|| {
+                run_cell(
+                    Scale::Quick.machine().with_scheme(scheme),
+                    WorkloadKind::Graph,
+                    Scale::Quick,
+                    1,
+                )
+                .expect("cell runs")
+                .throughput()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

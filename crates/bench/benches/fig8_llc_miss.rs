@@ -1,0 +1,37 @@
+//! Figure 8 (normalized LLC miss rate) bench.
+//!
+//! Regenerate the figure with
+//! `cargo run --release -p pmacc-bench --bin reproduce -- fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pmacc_bench::figures;
+use pmacc_bench::grid::{run_cell, run_grid, Scale};
+use pmacc_types::SchemeKind;
+use pmacc_workloads::WorkloadKind;
+
+fn bench(c: &mut Criterion) {
+    let grid = run_grid(Scale::Quick, 42, false).expect("grid runs");
+    println!("\n{}", figures::fig8(&grid));
+
+    let mut g = c.benchmark_group("fig8_llc_miss_cell");
+    g.sample_size(10);
+    for scheme in [SchemeKind::Optimal, SchemeKind::NvLlc] {
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter(|| {
+                run_cell(
+                    Scale::Quick.machine().with_scheme(scheme),
+                    WorkloadKind::Btree,
+                    Scale::Quick,
+                    1,
+                )
+                .expect("cell runs")
+                .llc_miss_rate()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 1 (hardware overhead) bench: prints the table and times the
+//! overhead calculator (trivially fast; included so every paper table has
+//! a bench target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pmacc::hwcost::HwOverhead;
+use pmacc_bench::figures;
+use pmacc_bench::grid::Scale;
+use pmacc_types::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::dac17();
+    println!("\n{}", figures::table1(&machine));
+    println!("{}", figures::table2(&machine));
+    println!("{}", figures::table3(Scale::Quick, 42));
+
+    c.bench_function("table1_hw_overhead", |b| {
+        b.iter(|| {
+            let hw = HwOverhead::for_machine(std::hint::black_box(&machine));
+            hw.total_tc_bytes() + hw.bits_per_tc_line()
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [--quick|--full] [--seed N] [experiment ...]
+//!
+//! experiments: fig6 fig7 fig8 fig9 fig10 table1 table2 table3 stalls
+//!              ablation-size ablation-overflow ablation-nvm
+//!              ablation-coalesce ablation-sp-fencing
+//! ```
+//!
+//! With no experiment arguments, everything runs. Output is markdown on
+//! stdout (progress goes to stderr), so `reproduce > results.md` captures
+//! a complete report.
+
+use std::process::ExitCode;
+
+use pmacc_bench::figures;
+use pmacc_bench::grid::{run_grid, Scale};
+use pmacc_types::MachineConfig;
+
+const GRID_EXPERIMENTS: [&str; 9] = [
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig9-breakdown",
+    "fig10",
+    "stalls",
+    "energy",
+    "endurance",
+];
+const ALL_EXPERIMENTS: [&str; 20] = [
+    "table2",
+    "table3",
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig9-breakdown",
+    "fig10",
+    "stalls",
+    "energy",
+    "endurance",
+    "recovery",
+    "mix",
+    "warm",
+    "ablation-size",
+    "ablation-overflow",
+    "ablation-nvm",
+    "ablation-coalesce",
+    "ablation-sp-fencing",
+];
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Default;
+    let mut seed = 42u64;
+    let mut bars = false;
+    let mut csv_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--bars" => bars = true,
+            "--csv" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                csv_dir = Some(dir);
+            }
+            "--seed" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [--quick|--full] [--bars] [--csv DIR] \
+                     [--seed N] [experiment ...]"
+                );
+                eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other if ALL_EXPERIMENTS.contains(&other) => wanted.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment `{other}`; known: {}", ALL_EXPERIMENTS.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if wanted.is_empty() {
+        wanted = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
+    }
+
+    println!("# pmacc reproduction report\n");
+    println!(
+        "Scale: {:?}; seed: {seed}; machine: Table 2, capacity-scaled for the grid.\n",
+        scale
+    );
+
+    // The five figures share one grid; run it once if any is requested.
+    let needs_grid = wanted.iter().any(|w| GRID_EXPERIMENTS.contains(&w.as_str()));
+    let grid = if needs_grid {
+        eprintln!("running the {:?} scheme x workload grid ...", scale);
+        match run_grid(scale, seed, true) {
+            Ok(g) => Some(g),
+            Err(e) => {
+                eprintln!("grid failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    for w in &wanted {
+        eprintln!("rendering {w} ...");
+        let table = match w.as_str() {
+            "table1" => Ok(figures::table1(&MachineConfig::dac17())),
+            "table2" => Ok(figures::table2(&MachineConfig::dac17())),
+            "table3" => Ok(figures::table3(scale, seed)),
+            "fig6" => Ok(figures::fig6(grid.as_ref().expect("grid ran"))),
+            "fig7" => Ok(figures::fig7(grid.as_ref().expect("grid ran"))),
+            "fig8" => Ok(figures::fig8(grid.as_ref().expect("grid ran"))),
+            "fig9" => Ok(figures::fig9(grid.as_ref().expect("grid ran"))),
+            "fig9-breakdown" => {
+                Ok(figures::fig9_breakdown(grid.as_ref().expect("grid ran")))
+            }
+            "fig10" => Ok(figures::fig10(grid.as_ref().expect("grid ran"))),
+            "stalls" => Ok(figures::stalls(grid.as_ref().expect("grid ran"))),
+            "energy" => Ok(figures::energy(grid.as_ref().expect("grid ran"))),
+            "endurance" => Ok(figures::endurance(grid.as_ref().expect("grid ran"))),
+            "recovery" => figures::recovery_table(scale, seed),
+            "mix" => figures::mix(scale, seed),
+            "warm" => figures::warm(scale, seed),
+            "ablation-size" => figures::ablation_txcache_size(scale, seed),
+            "ablation-overflow" => figures::ablation_overflow(scale, seed),
+            "ablation-nvm" => figures::ablation_nvm_latency(scale, seed),
+            "ablation-coalesce" => figures::ablation_coalesce(scale, seed),
+            "ablation-sp-fencing" => figures::ablation_sp_fencing(scale, seed),
+            _ => unreachable!("validated above"),
+        };
+        match table {
+            Ok(t) => {
+                print!("{t}");
+                if bars {
+                    println!("```text\n{}```\n", t.to_bars());
+                }
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir)
+                        .and_then(|()| std::fs::write(format!("{dir}/{w}.csv"), t.to_csv()))
+                    {
+                        eprintln!("cannot write {dir}/{w}.csv: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{w} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,221 @@
+//! A configurable single-run simulator CLI: pick a scheme, workload,
+//! machine and knobs, run it, and get the full measurement report —
+//! optionally with a mid-run crash plus recovery check.
+//!
+//! ```text
+//! simulate [--scheme tc|sp|nvllc|optimal] [--workload NAME]
+//!          [--machine dac17|scaled|small] [--ops N] [--setup N]
+//!          [--keys N] [--insert-ratio PCT] [--seed N]
+//!          [--tc-size BYTES] [--tc-coalesce] [--nvm-write-ns NS]
+//!          [--crash-at FRACTION] [--warmup COMMITS] [--dump-trace FILE]
+//! ```
+
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use pmacc::energy::{energy_of, EnergyParams};
+use pmacc::recovery::{check_recovery, recover, recovery_cost};
+use pmacc::{RunConfig, System};
+use pmacc_cpu::StallKind;
+use pmacc_types::{MachineConfig, SchemeKind, WriteCause};
+use pmacc_workloads::{build, WorkloadKind, WorkloadParams};
+
+struct Args {
+    scheme: SchemeKind,
+    workload: WorkloadKind,
+    machine: MachineConfig,
+    params: WorkloadParams,
+    crash_at: Option<f64>,
+    dump_trace: Option<String>,
+    warmup: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scheme = SchemeKind::TxCache;
+    let mut workload = WorkloadKind::Hashtable;
+    let mut machine = MachineConfig::dac17_scaled();
+    let mut params = WorkloadParams::evaluation(42);
+    params.num_ops = 2_000;
+    let mut crash_at = None;
+    let mut dump_trace = None;
+    let mut warmup = 0u64;
+    let mut tc_size = None;
+    let mut tc_coalesce = false;
+    let mut nvm_write_ns = None;
+
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scheme" => {
+                scheme = SchemeKind::from_str(&next_val(&mut args, "--scheme")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--workload" => {
+                workload = WorkloadKind::from_str(&next_val(&mut args, "--workload")?)
+                    .map_err(|e| e.to_string())?;
+            }
+            "--machine" => {
+                machine = match next_val(&mut args, "--machine")?.as_str() {
+                    "dac17" => MachineConfig::dac17(),
+                    "scaled" => MachineConfig::dac17_scaled(),
+                    "small" => MachineConfig::small(),
+                    other => return Err(format!("unknown machine `{other}`")),
+                };
+            }
+            "--ops" => params.num_ops = parse(&next_val(&mut args, "--ops")?)?,
+            "--setup" => params.setup_items = parse(&next_val(&mut args, "--setup")?)?,
+            "--keys" => params.key_space = parse(&next_val(&mut args, "--keys")?)?,
+            "--insert-ratio" => {
+                params.insert_ratio = parse(&next_val(&mut args, "--insert-ratio")?)?;
+            }
+            "--seed" => params.seed = parse(&next_val(&mut args, "--seed")?)?,
+            "--tc-size" => tc_size = Some(parse(&next_val(&mut args, "--tc-size")?)?),
+            "--tc-coalesce" => tc_coalesce = true,
+            "--nvm-write-ns" => {
+                nvm_write_ns = Some(
+                    next_val(&mut args, "--nvm-write-ns")?
+                        .parse::<f64>()
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            "--crash-at" => {
+                crash_at = Some(
+                    next_val(&mut args, "--crash-at")?
+                        .parse::<f64>()
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            "--dump-trace" => dump_trace = Some(next_val(&mut args, "--dump-trace")?),
+            "--warmup" => warmup = parse(&next_val(&mut args, "--warmup")?)?,
+            "--help" | "-h" => {
+                return Err("usage: simulate [--scheme S] [--workload W] [--machine M] \
+                            [--ops N] [--setup N] [--keys N] [--insert-ratio PCT] \
+                            [--seed N] [--tc-size BYTES] [--tc-coalesce] \
+                            [--nvm-write-ns NS] [--crash-at FRAC] [--warmup N] \
+                            [--dump-trace FILE]"
+                    .into());
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    machine.scheme = scheme;
+    if let Some(size) = tc_size {
+        machine.txcache.size_bytes = size;
+    }
+    machine.txcache.coalesce = tc_coalesce;
+    if let Some(ns) = nvm_write_ns {
+        machine.nvm.write_ns = ns;
+    }
+    Ok(Args {
+        scheme,
+        workload,
+        machine,
+        params,
+        crash_at,
+        dump_trace,
+        warmup,
+    })
+}
+
+fn parse<T: FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &args.dump_trace {
+        let w = build(args.workload, &args.params);
+        if let Err(e) = std::fs::write(path, pmacc_cpu::text::to_text(&w.trace)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path}");
+    }
+
+    let build_system = || {
+        let rc = RunConfig {
+            warmup_commits: args.warmup,
+            ..RunConfig::default()
+        };
+        System::for_workload(args.machine.clone(), args.workload, &args.params, &rc)
+    };
+
+    let mut sys = match build_system() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match sys.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("scheme {} workload {} cores {}", args.scheme, args.workload, args.machine.cores);
+    println!("cycles             {}", report.cycles);
+    println!("committed tx       {}", report.total_committed());
+    println!("IPC                {:.4}", report.ipc());
+    println!("tx/cycle           {:.6}", report.throughput());
+    println!("LLC miss rate      {:.2}%", report.llc_miss_rate() * 100.0);
+    println!("persistent load    {:.1} cycles", report.persistent_load_latency());
+    println!("NVM write traffic  {}", report.nvm_write_traffic());
+    for cause in WriteCause::all() {
+        let n = report.nvm_writes_by(cause);
+        if n > 0 {
+            println!("    {cause:<10} {n}");
+        }
+    }
+    println!("dropped LLC writes {}", report.dropped_llc_writes);
+    println!("residual owed      {}", report.residual_nvm_lines);
+    for kind in StallKind::all() {
+        let f = report.stall_fraction(kind);
+        if f > 0.0 {
+            println!("stall {kind:<18} {:.4}%", f * 100.0);
+        }
+    }
+    let e = energy_of(&report, &EnergyParams::dac17());
+    println!(
+        "energy             {:.1} µJ (memory share {:.0}%)",
+        e.total_nj() / 1000.0,
+        e.memory_fraction() * 100.0
+    );
+
+    if let Some(frac) = args.crash_at {
+        let crash_cycle = (report.cycles as f64 * frac) as u64;
+        let mut sys = build_system().expect("same config builds");
+        if let Err(e) = sys.run_until(crash_cycle) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        let state = sys.crash_state();
+        let cost = recovery_cost(&state, &args.machine);
+        let recovered = recover(&state);
+        println!("--- crash at cycle {crash_cycle} ({:.0}% of the run) ---", frac * 100.0);
+        println!("committed at crash {}", state.journal.len());
+        println!(
+            "recovery: scanned {} words, replayed {} words, ~{:.1} µs",
+            cost.words_scanned,
+            cost.words_replayed,
+            cost.estimated_ns as f64 / 1000.0
+        );
+        match check_recovery(&state, &recovered) {
+            Ok(()) => println!("recovery CONSISTENT (transaction-atomic)"),
+            Err(e) => println!("recovery INCONSISTENT: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

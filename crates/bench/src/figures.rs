@@ -1,0 +1,779 @@
+//! Every table and figure of the paper's evaluation, plus the ablations
+//! listed in `DESIGN.md`.
+
+use pmacc::energy::{energy_of, EnergyParams};
+use pmacc::hwcost::HwOverhead;
+use pmacc::recovery::{check_recovery, recover, recovery_cost};
+use pmacc::scheme::sp::{self, SpMode};
+use pmacc::{RunConfig, RunReport, System};
+use pmacc_cpu::StallKind;
+use pmacc_types::{MachineConfig, SchemeKind, SimError, WriteCause};
+use pmacc_workloads::{build, WorkloadKind};
+
+use crate::grid::{run_cell, run_grid_with, GridResults, Scale};
+use crate::table::{norm, FigTable};
+
+/// A named metric extracted from a [`RunReport`].
+type Metric = (&'static str, fn(&RunReport) -> f64);
+
+fn scheme_label(s: SchemeKind) -> &'static str {
+    match s {
+        SchemeKind::Sp => "SP",
+        SchemeKind::TxCache => "TC (this work)",
+        SchemeKind::NvLlc => "NVLLC",
+        SchemeKind::Optimal => "Optimal",
+    }
+}
+
+/// Builds one normalized-to-Optimal figure.
+fn normalized_figure(
+    grid: &GridResults,
+    id: &str,
+    title: &str,
+    caption: &str,
+    metric: impl Fn(&RunReport) -> f64 + Copy,
+) -> FigTable {
+    let mut cols = vec!["workload".to_string()];
+    cols.extend(SchemeKind::all().iter().map(|s| scheme_label(*s).to_string()));
+    let mut t = FigTable::new(id, title, caption, cols);
+    for kind in WorkloadKind::all() {
+        let mut row = vec![kind.to_string()];
+        for scheme in SchemeKind::all() {
+            row.push(norm(grid.normalized(kind, scheme, metric)));
+        }
+        t.push_row(row);
+    }
+    let mut mean = vec!["**mean**".to_string()];
+    for scheme in SchemeKind::all() {
+        mean.push(norm(grid.mean_normalized(scheme, metric)));
+    }
+    t.push_row(mean);
+    t
+}
+
+/// Figure 6: IPC normalized to Optimal.
+#[must_use]
+pub fn fig6(grid: &GridResults) -> FigTable {
+    normalized_figure(
+        grid,
+        "Figure 6",
+        "Performance improvements (IPC), normalized to Optimal",
+        "Paper: SP 0.477, TC 0.985, NVLLC 0.878 on average.",
+        RunReport::ipc,
+    )
+}
+
+/// Figure 7: transaction throughput normalized to Optimal.
+#[must_use]
+pub fn fig7(grid: &GridResults) -> FigTable {
+    normalized_figure(
+        grid,
+        "Figure 7",
+        "Performance improvements (throughput, tx/cycle), normalized to Optimal",
+        "Paper: SP 0.306, TC 0.985, NVLLC ~0.878 on average.",
+        RunReport::throughput,
+    )
+}
+
+/// Figure 8: LLC miss rate normalized to Optimal.
+#[must_use]
+pub fn fig8(grid: &GridResults) -> FigTable {
+    normalized_figure(
+        grid,
+        "Figure 8",
+        "LLC miss rate, normalized to Optimal",
+        "Paper: NVLLC incurs ~6% higher LLC miss rate; TC matches Optimal.",
+        RunReport::llc_miss_rate,
+    )
+}
+
+/// Figure 9: NVM write traffic normalized to Optimal.
+#[must_use]
+pub fn fig9(grid: &GridResults) -> FigTable {
+    normalized_figure(
+        grid,
+        "Figure 9",
+        "Write traffic to the NVM, normalized to Optimal",
+        "Paper: SP ~2x Optimal; TC and NVLLC in between, with TC above NVLLC.",
+        |r| r.nvm_write_traffic() as f64,
+    )
+}
+
+/// Figure 10: persistent-load latency normalized to Optimal.
+#[must_use]
+pub fn fig10(grid: &GridResults) -> FigTable {
+    normalized_figure(
+        grid,
+        "Figure 10",
+        "CPU persistent load latency, normalized to Optimal",
+        "Paper: NVLLC 2.4x Optimal and 2.3x TC; TC close to Optimal.",
+        RunReport::persistent_load_latency,
+    )
+}
+
+/// Figure 9's write-traffic *breakdown* by cause — which mechanism each
+/// scheme's NVM writes come from (per-workload totals summed over the
+/// grid, absolute counts).
+#[must_use]
+pub fn fig9_breakdown(grid: &GridResults) -> FigTable {
+    let mut cols = vec!["scheme".to_string()];
+    cols.extend(WriteCause::all().iter().map(|c| c.to_string()));
+    cols.push("owed (residual)".into());
+    let mut t = FigTable::new(
+        "Figure 9 (breakdown)",
+        "NVM writes by cause, summed over the five workloads",
+        "Eviction = normal write-backs; tc-drain = committed TC entries; \
+         log/flush = SP's records and clwb; cow = overflow fall-back.",
+        cols,
+    );
+    for scheme in SchemeKind::all() {
+        let mut row = vec![scheme_label(scheme).to_string()];
+        for cause in WriteCause::all() {
+            let total: u64 = WorkloadKind::all()
+                .iter()
+                .map(|k| grid.get(*k, scheme).nvm_writes_by(cause))
+                .sum();
+            row.push(total.to_string());
+        }
+        let owed: u64 = WorkloadKind::all()
+            .iter()
+            .map(|k| grid.get(*k, scheme).residual_nvm_lines)
+            .sum();
+        row.push(owed.to_string());
+        t.push_row(row);
+    }
+    t
+}
+
+/// The §5.2 transaction-cache stall claim: per-workload fraction of time
+/// stalled on a full transaction cache (paper: only `sps`, 0.67%).
+#[must_use]
+pub fn stalls(grid: &GridResults) -> FigTable {
+    let mut t = FigTable::new(
+        "§5.2 stalls",
+        "Fraction of execution time the CPU stalls on a full transaction cache",
+        "Paper: with a 4 KB TC per core, only sps stalls (0.67% of time).",
+        vec![
+            "workload".into(),
+            "TC-full stall fraction".into(),
+            "COW overflows".into(),
+        ],
+    );
+    for kind in WorkloadKind::all() {
+        let r = grid.get(kind, SchemeKind::TxCache);
+        t.push_row(vec![
+            kind.to_string(),
+            format!("{:.4}%", r.stall_fraction(StallKind::TxCacheFull) * 100.0),
+            r.tc_overflows().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Extension: energy accounting of the grid (write traffic priced by the
+/// STT-RAM energy asymmetry — the Figure 9 story in nanojoules).
+#[must_use]
+pub fn energy(grid: &GridResults) -> FigTable {
+    let params = EnergyParams::dac17();
+    let mut cols = vec!["workload".to_string()];
+    cols.extend(SchemeKind::all().iter().map(|s| scheme_label(*s).to_string()));
+    let mut t = FigTable::new(
+        "Extension: energy",
+        "Memory-system energy, normalized to Optimal",
+        "Caches + transaction cache + DRAM + NVM, with STT-RAM's ~4x \
+         write/read energy asymmetry; SP's logging and flushing dominate.",
+        cols,
+    );
+    let metric = |r: &RunReport| energy_of(r, &params).total_nj();
+    for kind in WorkloadKind::all() {
+        let mut row = vec![kind.to_string()];
+        for scheme in SchemeKind::all() {
+            row.push(norm(grid.normalized(kind, scheme, metric)));
+        }
+        t.push_row(row);
+    }
+    let mut mean = vec!["**mean**".to_string()];
+    for scheme in SchemeKind::all() {
+        mean.push(norm(grid.mean_normalized(scheme, metric)));
+    }
+    t.push_row(mean);
+    t
+}
+
+/// Extension: NVM write endurance — how hard each scheme hammers its
+/// hottest line (NVM cells wear out; a persistence path that rewrites
+/// the same line per transaction ages it fastest).
+#[must_use]
+pub fn endurance(grid: &GridResults) -> FigTable {
+    let mut t = FigTable::new(
+        "Extension: endurance",
+        "NVM wear profile (rbtree + sps, device writes per line)",
+        "Hottest-line writes and mean writes per written line; the TC \
+         drains every committed store, so hot structure lines (roots, \
+         headers) wear faster than under Optimal's cache coalescing.",
+        vec![
+            "workload / scheme".into(),
+            "hottest line writes".into(),
+            "mean writes/line".into(),
+            "total device writes".into(),
+        ],
+    );
+    for kind in [WorkloadKind::Rbtree, WorkloadKind::Sps] {
+        for scheme in SchemeKind::all() {
+            let r = grid.get(kind, scheme);
+            let hottest = r.nvm.hottest_line().map_or(0, |(_, n)| n);
+            t.push_row(vec![
+                format!("{kind} / {}", scheme_label(scheme)),
+                hottest.to_string(),
+                format!("{:.2}", r.nvm.mean_writes_per_line()),
+                r.nvm.writes().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Extension: recovery cost after a mid-run crash, per scheme
+/// (quantifies §3's "recover using the buffered writes" claim).
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn recovery_table(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let mut t = FigTable::new(
+        "Extension: recovery",
+        "Crash-recovery cost at 50% of an rbtree run",
+        "Scan = durable words read (log walk / TC read-out / LLC tag \
+         walk); replay = NVM words rewritten. The checker verifies each \
+         recovered image is transaction-atomic.",
+        vec![
+            "scheme".into(),
+            "words scanned".into(),
+            "words replayed".into(),
+            "est. recovery time".into(),
+            "consistent?".into(),
+        ],
+    );
+    let params = scale.params(seed);
+    for scheme in [SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc, SchemeKind::Optimal] {
+        let machine = scale.machine().with_scheme(scheme);
+        let total = {
+            let mut sys =
+                System::for_workload(machine.clone(), WorkloadKind::Rbtree, &params, &RunConfig::default())?;
+            sys.run()?.cycles
+        };
+        let mut sys =
+            System::for_workload(machine.clone(), WorkloadKind::Rbtree, &params, &RunConfig::default())?;
+        sys.run_until(total / 2)?;
+        let state = sys.crash_state();
+        let cost = recovery_cost(&state, &machine);
+        let recovered = recover(&state);
+        let ok = check_recovery(&state, &recovered).is_ok();
+        t.push_row(vec![
+            scheme_label(scheme).into(),
+            cost.words_scanned.to_string(),
+            cost.words_replayed.to_string(),
+            format!("{:.1} µs", cost.estimated_ns as f64 / 1000.0),
+            if ok { "yes" } else { "NO (by design)" }.into(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Extension: a heterogeneous multiprogrammed mix — one different
+/// benchmark per core (graph, rbtree, sps, btree), the workload shape
+/// shared-LLC studies use.
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn mix(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let kinds = [
+        WorkloadKind::Graph,
+        WorkloadKind::Rbtree,
+        WorkloadKind::Sps,
+        WorkloadKind::Btree,
+    ];
+    let mut t = FigTable::new(
+        "Extension: mix",
+        "Heterogeneous 4-core mix (graph + rbtree + sps + btree)",
+        "Each core runs a different benchmark; schemes normalized to \
+         Optimal on the same mix.",
+        vec![
+            "scheme".into(),
+            "IPC (norm)".into(),
+            "throughput (norm)".into(),
+            "NVM writes (norm)".into(),
+            "p-load latency (norm)".into(),
+        ],
+    );
+    let params = scale.params(seed);
+    let mut base: Option<RunReport> = None;
+    for scheme in [
+        SchemeKind::Optimal,
+        SchemeKind::Sp,
+        SchemeKind::TxCache,
+        SchemeKind::NvLlc,
+    ] {
+        let machine = scale.machine().with_scheme(scheme);
+        let mut sys = System::for_workload_mix(machine, &kinds, &params, &RunConfig::default())?;
+        let r = sys.run()?;
+        if scheme == SchemeKind::Optimal {
+            base = Some(r.clone());
+        }
+        let b = base.as_ref().expect("optimal ran first");
+        t.push_row(vec![
+            scheme_label(scheme).into(),
+            norm(r.ipc() / b.ipc()),
+            norm(r.throughput() / b.throughput()),
+            norm(r.nvm_write_traffic() as f64 / b.nvm_write_traffic().max(1) as f64),
+            norm(r.persistent_load_latency() / b.persistent_load_latency()),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Extension: the grid measured after a cache warm-up (the first quarter
+/// of each run's transactions excluded from statistics). Contrast with
+/// the cold-start figures: warm LLC miss rates expose the NVLLC pinning
+/// pressure better.
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn warm(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let params = scale.params(seed);
+    let warmup = (params.num_ops as u64 * scale.machine().cores as u64) / 4;
+    let rc = RunConfig {
+        warmup_commits: warmup,
+        ..RunConfig::default()
+    };
+    let grid = run_grid_with(scale, seed, false, &rc)?;
+    let mut t = FigTable::new(
+        "Extension: warm",
+        format!(
+            "Grid means measured after a {warmup}-transaction warm-up"
+        ),
+        "Normalized to Optimal, as in Figures 6-10 but excluding the \
+         cold-cache region.",
+        vec![
+            "metric".into(),
+            "SP".into(),
+            "TC (this work)".into(),
+            "NVLLC".into(),
+        ],
+    );
+    let metrics: [Metric; 4] = [
+        ("IPC", RunReport::ipc),
+        ("throughput", RunReport::throughput),
+        ("LLC miss rate", RunReport::llc_miss_rate),
+        ("persistent load latency", RunReport::persistent_load_latency),
+    ];
+    for (name, metric) in metrics {
+        t.push_row(vec![
+            name.into(),
+            norm(grid.mean_normalized(SchemeKind::Sp, metric)),
+            norm(grid.mean_normalized(SchemeKind::TxCache, metric)),
+            norm(grid.mean_normalized(SchemeKind::NvLlc, metric)),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Table 1: hardware overhead of the accelerator.
+#[must_use]
+pub fn table1(machine: &MachineConfig) -> FigTable {
+    let hw = HwOverhead::for_machine(machine);
+    let mut t = FigTable::new(
+        "Table 1",
+        "Summary of major hardware overhead",
+        format!(
+            "Total TC capacity {} KB across {} cores ({:.3}% of the LLC); \
+             +{} bit/line in the existing hierarchy, +{} bits/line in the TC array.",
+            hw.total_tc_bytes() / 1024,
+            hw.cores,
+            hw.tc_vs_llc(machine) * 100.0,
+            hw.bits_per_hierarchy_line(),
+            hw.bits_per_tc_line()
+        ),
+        vec![
+            "component".into(),
+            "type".into(),
+            "bits/instance".into(),
+            "instances".into(),
+            "total bits".into(),
+        ],
+    );
+    for row in &hw.rows {
+        t.push_row(vec![
+            row.component.to_string(),
+            row.kind.to_string(),
+            row.bits_per_instance.to_string(),
+            row.instances.to_string(),
+            row.total_bits().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 2: machine configuration.
+#[must_use]
+pub fn table2(machine: &MachineConfig) -> FigTable {
+    let mut t = FigTable::new(
+        "Table 2",
+        "Machine configuration",
+        "The paper's machine; the figure grid uses the capacity-scaled \
+         variant (see EXPERIMENTS.md).",
+        vec!["device".into(), "description".into()],
+    );
+    let c = machine;
+    t.push_row(vec![
+        "CPU".into(),
+        format!(
+            "{} cores, {}, {}-issue, out of order (trace-driven)",
+            c.cores, c.core.freq, c.core.issue_width
+        ),
+    ]);
+    for (name, cfg, shared) in [
+        ("L1 I/D", &c.l1, false),
+        ("L2", &c.l2, false),
+        ("L3 (LLC)", &c.llc, true),
+    ] {
+        let size = if cfg.size_bytes >= 1024 * 1024 {
+            format!("{} MB", cfg.size_bytes / (1024 * 1024))
+        } else {
+            format!("{} KB", cfg.size_bytes / 1024)
+        };
+        t.push_row(vec![
+            name.into(),
+            format!(
+                "{}, {}{}, {} ns, {}-way",
+                if shared { "Shared" } else { "Private" },
+                size,
+                if shared { "" } else { "/core" },
+                cfg.latency_ns,
+                cfg.ways
+            ),
+        ]);
+    }
+    t.push_row(vec![
+        "Transaction cache".into(),
+        format!(
+            "Private, {} KB/core, fully-associative CAM FIFO (STTRAM), {} ns, \
+             overflow at {:.0}%",
+            c.txcache.size_bytes / 1024,
+            c.txcache.latency_ns,
+            c.txcache.overflow_threshold * 100.0
+        ),
+    ]);
+    t.push_row(vec![
+        "Memory controllers".into(),
+        format!(
+            "{}/{}-entry read/write queue, 2 controllers, read-first or \
+             write drain when the write queue is {:.0}% full",
+            c.nvm.read_queue,
+            c.nvm.write_queue,
+            c.nvm.drain_high * 100.0
+        ),
+    ]);
+    t.push_row(vec![
+        "NVM memory (STTRAM)".into(),
+        format!(
+            "{} ranks, {} banks/rank, {}-ns read, {}-ns write",
+            c.nvm.ranks, c.nvm.banks_per_rank, c.nvm.read_ns, c.nvm.write_ns
+        ),
+    ]);
+    t.push_row(vec![
+        "DRAM memory".into(),
+        format!(
+            "DDR3, {} ranks, {} banks/rank, {}-ns access",
+            c.dram.ranks, c.dram.banks_per_rank, c.dram.read_ns
+        ),
+    ]);
+    t
+}
+
+/// Table 3: workloads, with measured trace statistics at the given scale.
+#[must_use]
+pub fn table3(scale: Scale, seed: u64) -> FigTable {
+    let mut t = FigTable::new(
+        "Table 3",
+        "Workloads",
+        "Five benchmarks similar to the NV-heaps suite; all key-value \
+         fields are 64 bits. Trace statistics measured per core instance.",
+        vec![
+            "name".into(),
+            "description".into(),
+            "ops/tx (mean)".into(),
+            "stores/tx (mean)".into(),
+            "write-set p99/max".into(),
+            "memory footprint".into(),
+        ],
+    );
+    for kind in WorkloadKind::all() {
+        let w = build(kind, &scale.params(seed));
+        let txs = w.trace.transactions().max(1);
+        let stores = w.trace.ops().iter().filter(|o| o.is_store()).count() as u64;
+        let footprint = w.final_image.len() as u64 * 8;
+        let mut sizes = w.trace.tx_store_counts();
+        sizes.sort_unstable();
+        let p99 = sizes[(sizes.len() * 99 / 100).min(sizes.len() - 1)];
+        let max = sizes.last().copied().unwrap_or(0);
+        t.push_row(vec![
+            kind.to_string(),
+            kind.description().to_string(),
+            format!("{:.1}", w.trace.op_count() as f64 / txs as f64),
+            format!("{:.1}", stores as f64 / txs as f64),
+            format!("{p99}/{max}"),
+            format!("{:.1} MB", footprint as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    t
+}
+
+/// Ablation A: transaction-cache capacity sweep (the §3 "capacity can be
+/// flexibly configured" claim).
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn ablation_txcache_size(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let mut t = FigTable::new(
+        "Ablation A",
+        "Transaction-cache capacity sweep (TC scheme)",
+        "IPC normalized to the 4 KB configuration; stall fraction and \
+         overflow events per size, for the two most TC-hungry workloads.",
+        vec![
+            "TC size".into(),
+            "sps IPC (vs 4 KB)".into(),
+            "sps stall%".into(),
+            "sps overflows".into(),
+            "rbtree IPC (vs 4 KB)".into(),
+            "rbtree stall%".into(),
+            "rbtree overflows".into(),
+        ],
+    );
+    let sizes: [u64; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+    let mut base: Option<(f64, f64)> = None;
+    let mut rows = Vec::new();
+    for size in sizes {
+        let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
+        machine.txcache.size_bytes = size;
+        let sps = run_cell(machine.clone(), WorkloadKind::Sps, scale, seed)?;
+        let rb = run_cell(machine, WorkloadKind::Rbtree, scale, seed)?;
+        rows.push((size, sps, rb));
+    }
+    for (size, sps, rb) in &rows {
+        if *size == 4096 {
+            base = Some((sps.ipc(), rb.ipc()));
+        }
+        let _ = base;
+    }
+    let (b_sps, b_rb) = rows
+        .iter()
+        .find(|(s, _, _)| *s == 4096)
+        .map(|(_, a, b)| (a.ipc(), b.ipc()))
+        .expect("4 KB point present");
+    for (size, sps, rb) in rows {
+        t.push_row(vec![
+            format!("{} B", size),
+            norm(sps.ipc() / b_sps),
+            format!("{:.3}%", sps.stall_fraction(StallKind::TxCacheFull) * 100.0),
+            sps.tc_overflows().to_string(),
+            norm(rb.ipc() / b_rb),
+            format!("{:.3}%", rb.stall_fraction(StallKind::TxCacheFull) * 100.0),
+            rb.tc_overflows().to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Ablation B: overflow-threshold sweep on a deliberately small TC.
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn ablation_overflow(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let mut t = FigTable::new(
+        "Ablation B",
+        "Overflow (COW fall-back) threshold sweep, 512 B TC, rbtree",
+        "The §4.1 fall-back triggers once the TC is 'almost filled'; the \
+         sweep shows the stall/overflow trade-off around the 90% default.",
+        vec![
+            "threshold".into(),
+            "IPC".into(),
+            "TC-full stall%".into(),
+            "overflows".into(),
+            "COW NVM writes".into(),
+        ],
+    );
+    for threshold in [0.5, 0.7, 0.9, 1.0] {
+        let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
+        machine.txcache.size_bytes = 512;
+        machine.txcache.overflow_threshold = threshold;
+        let r = run_cell(machine, WorkloadKind::Rbtree, scale, seed)?;
+        t.push_row(vec![
+            format!("{:.0}%", threshold * 100.0),
+            format!("{:.4}", r.ipc()),
+            format!("{:.3}%", r.stall_fraction(StallKind::TxCacheFull) * 100.0),
+            r.tc_overflows().to_string(),
+            r.nvm_writes_by(WriteCause::Cow).to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Ablation C: NVM write-latency sensitivity.
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn ablation_nvm_latency(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let mut t = FigTable::new(
+        "Ablation C",
+        "NVM technology sensitivity (rbtree)",
+        "TC and SP IPC normalized to Optimal at each device latency \
+         (STT-RAM write sweep plus a PCM point); the TC advantage grows \
+         as writes slow because its persistent path is off the execution \
+         critical path.",
+        vec![
+            "NVM device".into(),
+            "SP (norm)".into(),
+            "TC (norm)".into(),
+            "NVLLC (norm)".into(),
+        ],
+    );
+    let mut sweep: Vec<(String, pmacc_types::MemConfig)> = [38.0, 76.0, 152.0, 304.0]
+        .into_iter()
+        .map(|write_ns| {
+            let mut nvm = scale.machine().nvm;
+            nvm.write_ns = write_ns;
+            (format!("STT-RAM {write_ns} ns"), nvm)
+        })
+        .collect();
+    sweep.push((
+        "PCM 85/350 ns".to_string(),
+        pmacc_types::MemConfig::pcm(),
+    ));
+    for (label, nvm) in sweep {
+        let mut results = Vec::new();
+        let mut opt = 0.0;
+        for scheme in [
+            SchemeKind::Optimal,
+            SchemeKind::Sp,
+            SchemeKind::TxCache,
+            SchemeKind::NvLlc,
+        ] {
+            let mut machine = scale.machine().with_scheme(scheme);
+            machine.nvm = nvm;
+            let r = run_cell(machine, WorkloadKind::Rbtree, scale, seed)?;
+            if scheme == SchemeKind::Optimal {
+                opt = r.ipc();
+            } else {
+                results.push(r.ipc());
+            }
+        }
+        t.push_row(vec![
+            label,
+            norm(results[0] / opt),
+            norm(results[1] / opt),
+            norm(results[2] / opt),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Ablation D: within-transaction write coalescing in the TC (the paper
+/// keeps one entry per store).
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn ablation_coalesce(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let mut t = FigTable::new(
+        "Ablation D",
+        "Within-transaction coalescing in the transaction cache (btree)",
+        "Coalescing merges same-line stores of one transaction into one \
+         entry, trading CAM complexity for capacity and drain traffic.",
+        vec![
+            "coalescing".into(),
+            "IPC".into(),
+            "TC drain writes".into(),
+            "TC inserts".into(),
+            "coalesced".into(),
+            "overflows".into(),
+        ],
+    );
+    for coalesce in [false, true] {
+        let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
+        machine.txcache.coalesce = coalesce;
+        let r = run_cell(machine, WorkloadKind::Btree, scale, seed)?;
+        let inserts: u64 = r.tc.iter().map(|s| s.inserts.value()).sum();
+        let coalesced: u64 = r.tc.iter().map(|s| s.coalesced.value()).sum();
+        t.push_row(vec![
+            if coalesce { "on" } else { "off (paper)" }.into(),
+            format!("{:.4}", r.ipc()),
+            r.nvm_writes_by(WriteCause::TxCacheDrain).to_string(),
+            inserts.to_string(),
+            coalesced.to_string(),
+            r.tc_overflows().to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Ablation E: SP fence placement — strict per-record ordering (Figure
+/// 2(b)) versus the batched Figure 3(a) listing.
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn ablation_sp_fencing(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+    let mut t = FigTable::new(
+        "Ablation E",
+        "SP write-order control: strict vs batched fencing (sps)",
+        "Batched = the Figure 3(a) listing (default SP); strict = clwb+\
+         sfence per record plus post-commit data flushing (Figure 2(b)).",
+        vec![
+            "fencing".into(),
+            "IPC (vs Optimal)".into(),
+            "throughput (vs Optimal)".into(),
+            "NVM writes (vs Optimal)".into(),
+        ],
+    );
+    let params = scale.params(seed);
+    let machine = scale.machine();
+    let opt = run_cell(machine.clone().with_scheme(SchemeKind::Optimal), WorkloadKind::Sps, scale, seed)?;
+    for mode in [SpMode::Batched, SpMode::Strict] {
+        // Pre-instrument with the requested mode and run under the SP
+        // runtime (which adds nothing beyond the instrumentation).
+        let cfg = machine.clone().with_scheme(SchemeKind::Sp);
+        let mut traces = Vec::new();
+        let mut initial = Vec::new();
+        for core in 0..cfg.cores {
+            let mut p = params;
+            p.seed = params.seed.wrapping_add(core as u64 * 0x9E37_79B9);
+            let w = build(WorkloadKind::Sps, &p);
+            let strided = pmacc::stride_trace(&w.trace, core);
+            traces.push(sp::instrument_with(core, &strided, mode));
+            initial.extend(
+                w.initial
+                    .iter()
+                    .map(|&(a, v)| (pmacc::stride_word(a, core), v)),
+            );
+        }
+        let mut sys = System::new_instrumented(cfg, traces, &initial, &RunConfig::default())?;
+        let r = sys.run()?;
+        t.push_row(vec![
+            match mode {
+                SpMode::Batched => "batched (Fig. 3a, default)",
+                SpMode::Strict => "strict (Fig. 2b)",
+            }
+            .into(),
+            norm(r.ipc() / opt.ipc()),
+            norm(r.throughput() / opt.throughput()),
+            norm(r.nvm_write_traffic() as f64 / opt.nvm_write_traffic() as f64),
+        ]);
+    }
+    Ok(t)
+}

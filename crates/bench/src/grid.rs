@@ -1,0 +1,214 @@
+//! The §5 experiment matrix: 4 schemes × 5 workloads on the Table 2
+//! machine (capacity-scaled; see `EXPERIMENTS.md`).
+
+use std::collections::BTreeMap;
+
+use pmacc::{RunConfig, RunReport, System};
+
+use pmacc_types::{MachineConfig, SchemeKind, SimError};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+/// How large the simulated runs are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// ~1k transactions per core: seconds per grid, for smoke runs and
+    /// criterion benches.
+    Quick,
+    /// ~5k transactions per core: a couple of minutes for the full grid.
+    #[default]
+    Default,
+    /// ~20k transactions per core: the numbers recorded in
+    /// `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Workload parameters at this scale.
+    #[must_use]
+    pub fn params(self, seed: u64) -> WorkloadParams {
+        let mut p = WorkloadParams::evaluation(seed);
+        match self {
+            Scale::Quick => {
+                p.num_ops = 1_000;
+                p.setup_items = 60_000;
+                p.key_space = 200_000;
+            }
+            Scale::Default => {
+                p.num_ops = 5_000;
+            }
+            Scale::Full => {}
+        }
+        p
+    }
+
+    /// The machine the grid runs on.
+    #[must_use]
+    pub fn machine(self) -> MachineConfig {
+        MachineConfig::dac17_scaled()
+    }
+}
+
+/// Results of one grid run, keyed by workload then scheme.
+#[derive(Debug)]
+pub struct GridResults {
+    /// The reports.
+    pub results: BTreeMap<(WorkloadKind, SchemeKind), RunReport>,
+    /// Scale used.
+    pub scale: Scale,
+}
+
+impl GridResults {
+    /// The report for one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was not part of the grid.
+    #[must_use]
+    pub fn get(&self, kind: WorkloadKind, scheme: SchemeKind) -> &RunReport {
+        self.results
+            .get(&(kind, scheme))
+            .expect("cell was simulated")
+    }
+
+    /// A metric for one cell normalized to the Optimal scheme of the same
+    /// workload; `f` extracts the metric.
+    #[must_use]
+    pub fn normalized(
+        &self,
+        kind: WorkloadKind,
+        scheme: SchemeKind,
+        f: impl Fn(&RunReport) -> f64,
+    ) -> f64 {
+        let base = f(self.get(kind, SchemeKind::Optimal));
+        if base == 0.0 {
+            0.0
+        } else {
+            f(self.get(kind, scheme)) / base
+        }
+    }
+
+    /// Arithmetic mean of a normalized metric across all workloads.
+    #[must_use]
+    pub fn mean_normalized(
+        &self,
+        scheme: SchemeKind,
+        f: impl Fn(&RunReport) -> f64 + Copy,
+    ) -> f64 {
+        let all = WorkloadKind::all();
+        all.iter()
+            .map(|k| self.normalized(*k, scheme, f))
+            .sum::<f64>()
+            / all.len() as f64
+    }
+}
+
+/// Runs the full scheme × workload grid.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered.
+pub fn run_grid(scale: Scale, seed: u64, progress: bool) -> Result<GridResults, SimError> {
+    run_grid_with(scale, seed, progress, &RunConfig::default())
+}
+
+/// Runs the grid under explicit run options (e.g. a measurement warm-up).
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered.
+pub fn run_grid_with(
+    scale: Scale,
+    seed: u64,
+    progress: bool,
+    run_cfg: &RunConfig,
+) -> Result<GridResults, SimError> {
+    let mut results = BTreeMap::new();
+    for kind in WorkloadKind::all() {
+        for scheme in SchemeKind::all() {
+            if progress {
+                eprintln!("  running {kind} / {scheme} ...");
+            }
+            let report = run_cell_with(
+                scale.machine().with_scheme(scheme),
+                kind,
+                scale,
+                seed,
+                run_cfg,
+            )?;
+            results.insert((kind, scheme), report);
+        }
+    }
+    Ok(GridResults { results, scale })
+}
+
+/// Runs one cell of the grid (or an ablation variant of it).
+///
+/// # Errors
+///
+/// Returns the simulation error, if any.
+pub fn run_cell(
+    machine: MachineConfig,
+    kind: WorkloadKind,
+    scale: Scale,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    run_cell_with(machine, kind, scale, seed, &RunConfig::default())
+}
+
+/// Runs one cell under explicit run options.
+///
+/// # Errors
+///
+/// Returns the simulation error, if any.
+pub fn run_cell_with(
+    machine: MachineConfig,
+    kind: WorkloadKind,
+    scale: Scale,
+    seed: u64,
+    run_cfg: &RunConfig,
+) -> Result<RunReport, SimError> {
+    let params = scale.params(seed);
+    let mut sys = System::for_workload(machine, kind, &params, run_cfg)?;
+    sys.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_valid_params() {
+        for scale in [Scale::Quick, Scale::Default, Scale::Full] {
+            let p = scale.params(1);
+            assert!(p.num_ops >= 1_000);
+            assert!(scale.machine().validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn normalized_is_one_for_optimal() {
+        // A tiny synthetic grid with hand-made reports would need a lot of
+        // plumbing; instead check the arithmetic on a minimal real run.
+        let mut results = BTreeMap::new();
+        let mut machine = MachineConfig::small();
+        machine.cores = 2;
+        for scheme in [SchemeKind::Optimal, SchemeKind::TxCache] {
+            let mut p = WorkloadParams::tiny(1);
+            p.num_ops = 20;
+            let mut sys = pmacc::System::for_workload(
+                machine.clone().with_scheme(scheme),
+                WorkloadKind::Sps,
+                &p,
+                &RunConfig::default(),
+            )
+            .unwrap();
+            results.insert((WorkloadKind::Sps, scheme), sys.run().unwrap());
+        }
+        let grid = GridResults {
+            results,
+            scale: Scale::Quick,
+        };
+        let r = grid.normalized(WorkloadKind::Sps, SchemeKind::Optimal, RunReport::ipc);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Benchmark harness reproducing every table and figure of the DAC'17
+//! transaction-cache paper.
+//!
+//! The [`grid`] module runs the §5 experiment matrix (4 schemes × 5
+//! workloads); [`figures`] turns grids into the paper's tables and
+//! figures as markdown; the `reproduce` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p pmacc-bench --bin reproduce            # all
+//! cargo run --release -p pmacc-bench --bin reproduce -- fig6    # one
+//! cargo run --release -p pmacc-bench --bin reproduce -- --quick # faster
+//! ```
+
+pub mod figures;
+pub mod grid;
+pub mod table;
+
+pub use grid::{run_grid, GridResults, Scale};
+pub use table::FigTable;

@@ -1,0 +1,198 @@
+//! Markdown table rendering for figures and tables.
+
+use core::fmt;
+
+/// One reproduced table or figure, as rows of formatted cells.
+#[derive(Debug, Clone)]
+pub struct FigTable {
+    /// Identifier, e.g. "Figure 6".
+    pub id: String,
+    /// Title line.
+    pub title: String,
+    /// Explanation shown under the title.
+    pub caption: String,
+    /// Column headers (first column is the row label).
+    pub columns: Vec<String>,
+    /// Rows: label plus one cell per remaining column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigTable {
+    /// Creates an empty table with headers.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        caption: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        FigTable {
+            id: id.into(),
+            title: title.into(),
+            caption: caption.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}: {}\n\n", self.id, self.title));
+        if !self.caption.is_empty() {
+            out.push_str(&format!("{}\n\n", self.caption));
+        }
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.columns.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl FigTable {
+    /// Renders numeric rows as ASCII bars (one block per 0.1 of the
+    /// value), for eyeballing normalized figures in a terminal. Cells
+    /// that do not parse as numbers are shown verbatim.
+    #[must_use]
+    pub fn to_bars(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}: {}\n", self.id, self.title));
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r[0].len())
+            .chain(self.columns.iter().map(|c| c.len()))
+            .max()
+            .unwrap_or(8);
+        for row in &self.rows {
+            out.push_str(&format!("  {:width$}", row[0]));
+            for (cell, col) in row[1..].iter().zip(&self.columns[1..]) {
+                if let Ok(v) = cell.parse::<f64>() {
+                    let blocks = (v * 10.0).round().clamp(0.0, 40.0) as usize;
+                    out.push_str(&format!("  {col} {:5} |{}", cell, "#".repeat(blocks)));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FigTable {
+    /// Renders the table as CSV (header row first) for plotting tools.
+    /// Cells containing commas or quotes are quoted per RFC 4180.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Formats a normalized value to three decimals.
+#[must_use]
+pub fn norm(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = FigTable::new(
+            "Figure 0",
+            "demo",
+            "caption",
+            vec!["w".into(), "a".into()],
+        );
+        t.push_row(vec!["x".into(), "1.0".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Figure 0: demo"));
+        assert!(md.contains("| w | a |"));
+        assert!(md.contains("| x | 1.0 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = FigTable::new("F", "t", "", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn bars_render_numeric_cells() {
+        let mut t = FigTable::new(
+            "Figure X",
+            "bars",
+            "",
+            vec!["w".into(), "a".into(), "b".into()],
+        );
+        t.push_row(vec!["row".into(), "1.000".into(), "0.500".into()]);
+        let bars = t.to_bars();
+        assert!(bars.contains("##########"), "1.0 renders ten blocks");
+        assert!(bars.contains("#####"), "0.5 renders five blocks");
+    }
+
+    #[test]
+    fn csv_renders_and_quotes() {
+        let mut t = FigTable::new(
+            "F",
+            "t",
+            "",
+            vec!["a".into(), "b, or c".into()],
+        );
+        t.push_row(vec!["x\"y".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,\"b, or c\"\n"));
+        assert!(csv.contains("\"x\"\"y\",1"));
+    }
+
+    #[test]
+    fn norm_formats() {
+        assert_eq!(norm(0.98765), "0.988");
+    }
+}

@@ -1,0 +1,26 @@
+//! Smoke tests of the figure/table renderers (the full grid is exercised
+//! by the reproduce binary and the criterion benches).
+
+use pmacc_bench::figures;
+use pmacc_bench::grid::Scale;
+use pmacc_types::MachineConfig;
+
+#[test]
+fn tables_render() {
+    let machine = MachineConfig::dac17();
+    let t1 = figures::table1(&machine).to_markdown();
+    assert!(t1.contains("TC data array"));
+    assert!(t1.contains("STTRAM"));
+    let t2 = figures::table2(&machine).to_markdown();
+    assert!(t2.contains("64 MB"));
+    assert!(t2.contains("65-ns read, 76-ns write"));
+    assert!(t2.contains("CAM FIFO"));
+}
+
+#[test]
+fn table3_measures_all_workloads() {
+    let t3 = figures::table3(Scale::Quick, 1).to_markdown();
+    for name in ["graph", "rbtree", "sps", "btree", "hashtable"] {
+        assert!(t3.contains(name), "missing {name} row");
+    }
+}

@@ -1,0 +1,643 @@
+//! The three-level inclusive hierarchy: private L1/L2 per core, shared LLC.
+
+use core::fmt;
+use std::error::Error;
+
+use pmacc_types::{CacheConfig, LineAddr, TxId};
+
+use crate::array::CacheArray;
+use crate::line::LineState;
+use crate::set::ReplacePolicy;
+use crate::stats::HierarchyStats;
+
+/// A cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Private first-level cache.
+    L1,
+    /// Private second-level cache.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::L1 => f.write_str("L1"),
+            Level::L2 => f.write_str("L2"),
+            Level::Llc => f.write_str("LLC"),
+        }
+    }
+}
+
+/// Scheme-level knobs that change hierarchy behaviour without changing the
+/// cache operation itself (the paper's point is that these are the *only*
+/// hooks the baselines need; the TC design needs none of them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyOpts {
+    /// Pin dirty persistent lines carrying an (uncommitted) transaction tag
+    /// when they reach the LLC, and refuse to evict them — the NVLLC/Kiln
+    /// baseline's in-LLC multi-versioning.
+    pub pin_uncommitted_in_llc: bool,
+}
+
+/// One access presented to the hierarchy. Persistence is derived from the
+/// address (NVM-region lines are persistent), mirroring the CPU-issued P/V
+/// flag of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Line to access.
+    pub line: LineAddr,
+    /// Whether this is a store.
+    pub write: bool,
+    /// Transaction tag carried by transactional persistent stores.
+    pub tx: Option<TxId>,
+}
+
+impl Access {
+    /// A demand load.
+    #[must_use]
+    pub fn load(line: LineAddr) -> Self {
+        Access {
+            line,
+            write: false,
+            tx: None,
+        }
+    }
+
+    /// A store.
+    #[must_use]
+    pub fn store(line: LineAddr) -> Self {
+        Access {
+            line,
+            write: true,
+            tx: None,
+        }
+    }
+
+    /// Tags the access with a transaction.
+    #[must_use]
+    pub fn with_tx(mut self, tx: TxId) -> Self {
+        self.tx = Some(tx);
+        self
+    }
+}
+
+/// A line leaving the hierarchy through LLC replacement. The system layer
+/// routes it: write-back to memory (Optimal/SP), or *drop* when persistent
+/// (the TC scheme's §3 "dropped writes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether it carried modified data.
+    pub dirty: bool,
+    /// Its P/V flag.
+    pub persistent: bool,
+    /// Transaction tag, if it was dirtied transactionally.
+    pub tx: Option<TxId>,
+}
+
+/// Result of a hierarchy access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Innermost level that hit, or `None` for a full miss (the fill comes
+    /// from memory or — under the TC scheme — from the transaction cache).
+    pub hit: Option<Level>,
+    /// Lines pushed out of the LLC by this access.
+    pub evictions: Vec<Eviction>,
+}
+
+/// The access could not fill the LLC because every way of the target set
+/// is pinned (only possible with [`HierarchyOpts::pin_uncommitted_in_llc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinBlockedError {
+    /// The line whose fill was blocked.
+    pub line: LineAddr,
+}
+
+impl fmt::Display for PinBlockedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LLC set of {} is fully pinned", self.line)
+    }
+}
+
+impl Error for PinBlockedError {}
+
+/// The paper's cache hierarchy: per-core private L1/L2 and one shared,
+/// inclusive, write-back LLC.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1: Vec<CacheArray>,
+    l2: Vec<CacheArray>,
+    llc: CacheArray,
+    opts: HierarchyOpts,
+    /// Statistics, public for the system layer's reports.
+    pub stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid cache configurations (validate them first).
+    #[must_use]
+    pub fn new(
+        cores: usize,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        llc: CacheConfig,
+        opts: HierarchyOpts,
+    ) -> Self {
+        Hierarchy {
+            l1: (0..cores)
+                .map(|_| CacheArray::new(&l1, ReplacePolicy::Lru))
+                .collect(),
+            l2: (0..cores)
+                .map(|_| CacheArray::new(&l2, ReplacePolicy::Lru))
+                .collect(),
+            llc: CacheArray::new(&llc, ReplacePolicy::Lru),
+            opts,
+            stats: HierarchyStats::new(cores),
+        }
+    }
+
+    /// Number of cores the hierarchy serves.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Performs one access for `core`, updating all levels (write-allocate,
+    /// write-back, inclusive fills).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinBlockedError`] when the fill cannot proceed because the
+    /// LLC target set is entirely pinned; the caller should stall and retry
+    /// (or use [`Hierarchy::force_unpin_for`] as an overflow escape hatch).
+    pub fn access(
+        &mut self,
+        core: usize,
+        acc: Access,
+    ) -> Result<AccessOutcome, PinBlockedError> {
+        let line = acc.line;
+        let persistent = line.is_persistent();
+        let mut evictions = Vec::new();
+
+        // L1.
+        if let Some(l) = self.l1[core].lookup(line) {
+            if acc.write {
+                l.state = LineState::Dirty;
+                if acc.tx.is_some() {
+                    l.tx = acc.tx;
+                }
+            }
+            self.stats.l1[core].accesses.record(true);
+            return Ok(AccessOutcome {
+                hit: Some(Level::L1),
+                evictions,
+            });
+        }
+        self.stats.l1[core].accesses.record(false);
+
+        // L2.
+        let l2_hit = self.l2[core].lookup(line).is_some();
+        self.stats.l2[core].accesses.record(l2_hit);
+
+        let mut hit = if l2_hit { Some(Level::L2) } else { None };
+        if !l2_hit {
+            // LLC (accessed only on an L2 miss).
+            let llc_hit = self.llc.lookup(line).is_some();
+            self.stats.llc.accesses.record(llc_hit);
+            if llc_hit {
+                hit = Some(Level::Llc);
+            } else {
+                // Fill the LLC from memory (or the transaction cache).
+                if self.llc.insert_blocked(line) {
+                    self.stats.llc.pin_blocked.inc();
+                    return Err(PinBlockedError { line });
+                }
+                let ins = self
+                    .llc
+                    .insert(line, LineState::Clean, persistent, None, false);
+                if let Some((eaddr, eline)) = ins.evicted {
+                    evictions.push(self.back_invalidate(eaddr, eline));
+                }
+            }
+            // Fill L2.
+            let ins2 = self.l2[core].insert(line, LineState::Clean, persistent, None, false);
+            if let Some((eaddr, eline)) = ins2.evicted {
+                self.stats.l2[core].evictions.inc();
+                self.absorb_l2_victim(core, eaddr, eline);
+            }
+        }
+
+        // Fill L1 (and apply the store).
+        let state = if acc.write {
+            LineState::Dirty
+        } else {
+            LineState::Clean
+        };
+        let tx = if acc.write { acc.tx } else { None };
+        let ins1 = self.l1[core].insert(line, state, persistent, tx, false);
+        if let Some((eaddr, eline)) = ins1.evicted {
+            self.stats.l1[core].evictions.inc();
+            if eline.state.is_dirty() {
+                self.stats.l1[core].dirty_evictions.inc();
+                // Inclusion: the victim is present in L2; merge dirtiness.
+                let merged =
+                    self.l2[core].merge(eaddr, true, eline.persistent, eline.tx, false);
+                debug_assert!(merged, "L1 victim must be in L2");
+            }
+        }
+        Ok(AccessOutcome { hit, evictions })
+    }
+
+    /// Merges an evicted L2 line into the LLC (present by inclusion),
+    /// pinning it if the NVLLC option is on and it is uncommitted
+    /// transactional data.
+    fn absorb_l2_victim(
+        &mut self,
+        core: usize,
+        eaddr: LineAddr,
+        eline: crate::line::CacheLine,
+    ) {
+        // Back-invalidate the L1 copy to preserve inclusion, merging its
+        // dirtiness and transaction tag.
+        let l1_old = self.l1[core].invalidate(eaddr);
+        let dirty = eline.state.is_dirty() || l1_old.is_some_and(|l| l.state.is_dirty());
+        let tx = l1_old.and_then(|l| l.tx).or(eline.tx);
+        if !dirty {
+            return;
+        }
+        self.stats.l2[core].dirty_evictions.inc();
+        if eline.persistent {
+            self.stats.l2[core].persistent_dirty_evictions.inc();
+        }
+        let pin = self.opts.pin_uncommitted_in_llc && eline.persistent && tx.is_some();
+        let merged = self.llc.merge(eaddr, true, eline.persistent, tx, pin);
+        debug_assert!(merged, "L2 victim must be in LLC");
+    }
+
+    /// Back-invalidates every inner copy of an LLC victim and produces the
+    /// outgoing [`Eviction`] with merged dirtiness.
+    fn back_invalidate(&mut self, eaddr: LineAddr, eline: crate::line::CacheLine) -> Eviction {
+        let mut dirty = eline.state.is_dirty();
+        let mut tx = eline.tx;
+        for core in 0..self.l1.len() {
+            if let Some(old) = self.l1[core].invalidate(eaddr) {
+                dirty |= old.state.is_dirty();
+                tx = old.tx.or(tx);
+            }
+            if let Some(old) = self.l2[core].invalidate(eaddr) {
+                dirty |= old.state.is_dirty();
+                tx = old.tx.or(tx);
+            }
+        }
+        self.stats.llc.evictions.inc();
+        if dirty {
+            self.stats.llc.dirty_evictions.inc();
+            if eline.persistent {
+                self.stats.llc.persistent_dirty_evictions.inc();
+            }
+        }
+        Eviction {
+            line: eaddr,
+            dirty,
+            persistent: eline.persistent,
+            tx,
+        }
+    }
+
+    /// Cleans every cached copy of `line` (a `clwb`), returning whether any
+    /// copy was dirty — in which case the caller writes the line back to
+    /// memory. The line stays cached, as `clwb` specifies.
+    pub fn flush_line(&mut self, core: usize, line: LineAddr) -> bool {
+        let mut dirty = false;
+        dirty |= self.l1[core].clean(line) == Some(true);
+        dirty |= self.l2[core].clean(line) == Some(true);
+        dirty |= self.llc.clean(line) == Some(true);
+        dirty
+    }
+
+    /// NVLLC commit flush: pushes a transactional line from L1/L2 down into
+    /// the (nonvolatile) LLC, clearing its transaction tag and pin. The
+    /// private copies are *invalidated* (flush semantics): the commit
+    /// evicts the transaction's lines from the volatile levels, which is
+    /// why the paper measures 2.4x persistent-load latency for NVLLC —
+    /// post-commit re-reads start at the LLC.
+    ///
+    /// Returns whether the line was dirty in a private level (i.e. whether
+    /// an actual data movement into the LLC occurred, which costs an LLC
+    /// write-port slot in the timing model).
+    pub fn demote_tx_line(&mut self, core: usize, line: LineAddr, tx: TxId) -> bool {
+        let mut moved = false;
+        for arr in [&mut self.l1[core], &mut self.l2[core]] {
+            if let Some(old) = arr.invalidate(line) {
+                if old.state.is_dirty() {
+                    moved = true;
+                }
+            }
+        }
+        let _ = tx;
+        if self.llc.contains(line) {
+            if moved {
+                self.llc.merge(line, true, line.is_persistent(), None, false);
+            }
+            self.llc.unpin(line);
+        } else if moved {
+            // The LLC copy was (legally) replaced while only the private
+            // copy was dirty cannot happen under inclusion; defensively
+            // reinstall the line.
+            if self.llc.insert_blocked(line) {
+                let _ = self.llc.force_unpin_in_set_of(line);
+                self.stats.llc.forced_unpins.inc();
+            }
+            self.llc
+                .insert(line, LineState::Dirty, line.is_persistent(), None, false);
+        }
+        moved
+    }
+
+    /// Unpins `line` in the LLC (NVLLC commit of a line that was already
+    /// evicted from the private levels). Returns whether the line was found.
+    pub fn unpin_line(&mut self, line: LineAddr) -> bool {
+        self.llc.unpin(line)
+    }
+
+    /// Overflow escape hatch: forcibly unpins the oldest pinned line in the
+    /// LLC set that `line` maps to, returning the victim so the caller can
+    /// persist it out of band. Counts as a forced unpin.
+    pub fn force_unpin_for(&mut self, line: LineAddr) -> Option<LineAddr> {
+        let victim = self.llc.force_unpin_in_set_of(line)?;
+        self.stats.llc.forced_unpins.inc();
+        Some(victim)
+    }
+
+    /// Innermost level at which `line` is cached for `core`, without
+    /// touching replacement state.
+    #[must_use]
+    pub fn probe(&self, core: usize, line: LineAddr) -> Option<Level> {
+        if self.l1[core].contains(line) {
+            Some(Level::L1)
+        } else if self.l2[core].contains(line) {
+            Some(Level::L2)
+        } else if self.llc.contains(line) {
+            Some(Level::Llc)
+        } else {
+            None
+        }
+    }
+
+    /// Distinct persistent lines that are dirty somewhere in the
+    /// hierarchy — write-backs the NVM is still *owed* at the end of a
+    /// run. Counting them alongside completed writes makes Figure 9's
+    /// traffic comparison independent of where the run was cut off.
+    /// With `pinned_only_committed`, pinned (uncommitted NVLLC) lines are
+    /// excluded: they are not destined for the NVM until they commit.
+    #[must_use]
+    pub fn residual_persistent_dirty_lines(&self, exclude_pinned: bool) -> u64 {
+        let mut lines = std::collections::HashSet::new();
+        for core in 0..self.l1.len() {
+            for arr in [&self.l1[core], &self.l2[core]] {
+                for (addr, l) in arr.iter_valid() {
+                    if l.state.is_dirty() && l.persistent && !(exclude_pinned && l.tx.is_some()) {
+                        lines.insert(addr);
+                    }
+                }
+            }
+        }
+        for (addr, l) in self.llc.iter_valid() {
+            if l.state.is_dirty() && l.persistent && !(exclude_pinned && l.pinned) {
+                lines.insert(addr);
+            }
+        }
+        lines.len() as u64
+    }
+
+    /// Direct access to the LLC array (tests and recovery inspection).
+    #[must_use]
+    pub fn llc(&self) -> &CacheArray {
+        &self.llc
+    }
+
+    /// Direct access to a core's L1 array (tests).
+    #[must_use]
+    pub fn l1(&self, core: usize) -> &CacheArray {
+        &self.l1[core]
+    }
+
+    /// Direct access to a core's L2 array (tests).
+    #[must_use]
+    pub fn l2(&self, core: usize) -> &CacheArray {
+        &self.l2[core]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmacc_types::Addr;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(
+            2,
+            CacheConfig::new(512, 2, 0.5),      // 4 sets x 2 ways
+            CacheConfig::new(2 * 1024, 4, 4.5), // 8 sets x 4 ways
+            CacheConfig::new(8 * 1024, 8, 10.0), // 16 sets x 8 ways
+            HierarchyOpts::default(),
+        )
+    }
+
+    fn nvm_line(i: u64) -> LineAddr {
+        LineAddr::new(Addr::nvm_base().line().raw() + i)
+    }
+
+    #[test]
+    fn miss_then_hits_at_each_level() {
+        let mut h = small();
+        let line = LineAddr::new(100);
+        assert_eq!(h.access(0, Access::load(line)).unwrap().hit, None);
+        assert_eq!(
+            h.access(0, Access::load(line)).unwrap().hit,
+            Some(Level::L1)
+        );
+        // A different core misses its private levels but hits the LLC.
+        assert_eq!(
+            h.access(1, Access::load(line)).unwrap().hit,
+            Some(Level::Llc)
+        );
+    }
+
+    #[test]
+    fn inclusion_holds_after_fill() {
+        let mut h = small();
+        let line = LineAddr::new(7);
+        h.access(0, Access::store(line)).unwrap();
+        assert!(h.l1(0).contains(line));
+        assert!(h.l2(0).contains(line));
+        assert!(h.llc().contains(line));
+    }
+
+    #[test]
+    fn store_dirties_only_l1() {
+        let mut h = small();
+        let line = LineAddr::new(7);
+        h.access(0, Access::store(line)).unwrap();
+        assert!(h.l1(0).peek(line).unwrap().state.is_dirty());
+        assert!(!h.l2(0).peek(line).unwrap().state.is_dirty());
+        assert!(!h.llc().peek(line).unwrap().state.is_dirty());
+    }
+
+    #[test]
+    fn l1_eviction_merges_dirtiness_into_l2() {
+        let mut h = small();
+        // L1 has 4 sets x 2 ways; lines 0, 4, 8 share set 0.
+        h.access(0, Access::store(LineAddr::new(0))).unwrap();
+        h.access(0, Access::load(LineAddr::new(4))).unwrap();
+        h.access(0, Access::load(LineAddr::new(8))).unwrap(); // evicts line 0 from L1
+        assert!(!h.l1(0).contains(LineAddr::new(0)));
+        assert!(h.l2(0).peek(LineAddr::new(0)).unwrap().state.is_dirty());
+    }
+
+    #[test]
+    fn llc_eviction_back_invalidates_and_reports() {
+        let mut h = small();
+        // LLC: 16 sets x 8 ways. Touch 9 lines in LLC set 0 (stride 16).
+        let store0 = Access::store(LineAddr::new(0));
+        h.access(0, store0).unwrap();
+        let mut evs = Vec::new();
+        for i in 1..=8 {
+            let out = h.access(0, Access::load(LineAddr::new(16 * i))).unwrap();
+            evs.extend(out.evictions);
+        }
+        assert_eq!(evs.len(), 1, "one LLC eviction expected");
+        assert_eq!(evs[0].line, LineAddr::new(0));
+        assert!(evs[0].dirty, "dirtiness merged from L1");
+        // The line is gone everywhere (inclusion).
+        assert_eq!(h.probe(0, LineAddr::new(0)), None);
+    }
+
+    #[test]
+    fn persistent_flag_follows_region() {
+        let mut h = small();
+        let line = nvm_line(3);
+        h.access(0, Access::store(line)).unwrap();
+        assert!(h.l1(0).peek(line).unwrap().persistent);
+        assert!(h.llc().peek(line).unwrap().persistent);
+    }
+
+    #[test]
+    fn flush_line_cleans_everywhere() {
+        let mut h = small();
+        let line = nvm_line(1);
+        h.access(0, Access::store(line)).unwrap();
+        assert!(h.flush_line(0, line));
+        assert!(!h.l1(0).peek(line).unwrap().state.is_dirty());
+        // Second flush: nothing dirty anymore.
+        assert!(!h.flush_line(0, line));
+        // Line is still cached (clwb keeps it).
+        assert_eq!(h.probe(0, line), Some(Level::L1));
+    }
+
+    fn nvllc() -> Hierarchy {
+        Hierarchy::new(
+            1,
+            CacheConfig::new(256, 2, 0.5),  // 2 sets x 2 ways
+            CacheConfig::new(512, 2, 4.5),  // 4 sets x 2 ways
+            CacheConfig::new(1024, 2, 10.0), // 8 sets x 2 ways
+            HierarchyOpts {
+                pin_uncommitted_in_llc: true,
+            },
+        )
+    }
+
+    #[test]
+    fn uncommitted_lines_pin_in_llc() {
+        let mut h = nvllc();
+        let tx = TxId::new(0, 1);
+        let line = nvm_line(0);
+        h.access(0, Access::store(line).with_tx(tx)).unwrap();
+        // Push it out of L1 and L2 with conflicting volatile lines.
+        // L1 set of `line`: stride 2 lines; L2 stride 4.
+        for i in 1..=4 {
+            h.access(0, Access::load(nvm_line(4 * i))).unwrap();
+        }
+        let llc_line = h.llc().peek(line).expect("line reached LLC");
+        assert!(llc_line.pinned, "uncommitted dirty persistent line pins");
+        assert_eq!(llc_line.tx, Some(tx));
+    }
+
+    #[test]
+    fn pinned_set_blocks_fill_and_unpin_unblocks() {
+        let mut h = nvllc();
+        let tx = TxId::new(0, 1);
+        // Pin both ways of LLC set 0 (stride 8). Eviction traffic uses
+        // lines ≡ 4 (mod 8): same L1/L2 sets as the victims, but LLC set 4,
+        // so it cannot displace the lines being pinned.
+        for i in 0..2 {
+            let line = nvm_line(8 * i);
+            h.access(0, Access::store(line).with_tx(tx)).unwrap();
+            for j in 1..=6 {
+                h.access(0, Access::load(nvm_line(8 * (i * 6 + j) + 4))).unwrap();
+            }
+        }
+        // Check both pinned.
+        assert!(h.llc().peek(nvm_line(0)).unwrap().pinned);
+        assert!(h.llc().peek(nvm_line(8)).unwrap().pinned);
+        // A third line in the same set cannot fill.
+        let e = h.access(0, Access::load(nvm_line(16))).unwrap_err();
+        assert_eq!(e.line, nvm_line(16));
+        assert_eq!(h.stats.llc.pin_blocked.value(), 1);
+        // Commit (unpin) one line; the fill proceeds.
+        assert!(h.unpin_line(nvm_line(0)));
+        assert!(h.access(0, Access::load(nvm_line(16))).is_ok());
+    }
+
+    #[test]
+    fn demote_tx_line_moves_data_to_llc() {
+        let mut h = nvllc();
+        let tx = TxId::new(0, 2);
+        let line = nvm_line(1);
+        h.access(0, Access::store(line).with_tx(tx)).unwrap();
+        assert!(h.demote_tx_line(0, line, tx), "line was dirty in L1");
+        assert!(h.llc().peek(line).unwrap().state.is_dirty());
+        assert!(!h.llc().peek(line).unwrap().pinned);
+        // Flush semantics: the private copies are invalidated, so the next
+        // read starts at the LLC (the paper's NVLLC load-latency penalty).
+        assert!(!h.l1(0).contains(line));
+        assert!(!h.l2(0).contains(line));
+        // Second demote: nothing dirty.
+        assert!(!h.demote_tx_line(0, line, tx));
+    }
+
+    #[test]
+    fn force_unpin_escape_hatch() {
+        let mut h = nvllc();
+        let tx = TxId::new(0, 1);
+        for i in 0..2 {
+            let line = nvm_line(8 * i);
+            h.access(0, Access::store(line).with_tx(tx)).unwrap();
+            for j in 1..=6 {
+                h.access(0, Access::load(nvm_line(8 * (i * 6 + j) + 4))).unwrap();
+            }
+        }
+        let victim = h.force_unpin_for(nvm_line(16)).expect("a pinned victim");
+        assert!(victim == nvm_line(0) || victim == nvm_line(8));
+        assert_eq!(h.stats.llc.forced_unpins.value(), 1);
+        assert!(h.access(0, Access::load(nvm_line(16))).is_ok());
+    }
+
+    #[test]
+    fn llc_miss_rate_counts_only_l2_misses() {
+        let mut h = small();
+        let line = LineAddr::new(40);
+        h.access(0, Access::load(line)).unwrap(); // LLC access (miss)
+        h.access(0, Access::load(line)).unwrap(); // L1 hit, no LLC access
+        assert_eq!(h.stats.llc.accesses.total(), 1);
+        assert_eq!(h.stats.l1[0].accesses.total(), 2);
+    }
+}

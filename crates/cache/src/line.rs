@@ -1,0 +1,99 @@
+//! A single cache line's metadata.
+//!
+//! Following §4.3 of the paper, each line carries — besides tag and state —
+//! a one-bit persistent/volatile (P/V) flag. For the NVLLC baseline the
+//! line additionally remembers the transaction that last dirtied it and
+//! whether it is pinned (uncommitted data may not be evicted from a
+//! nonvolatile LLC).
+
+use pmacc_types::TxId;
+
+/// Validity/dirtiness of a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LineState {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present, matches the next level.
+    Clean,
+    /// Present, modified relative to the next level.
+    Dirty,
+}
+
+impl LineState {
+    /// Whether the line holds data.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// Whether the line must be written back on eviction.
+    #[must_use]
+    pub fn is_dirty(self) -> bool {
+        self == LineState::Dirty
+    }
+}
+
+/// Metadata of one cache line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Tag bits (line address with the set index removed).
+    pub tag: u64,
+    /// Validity / dirtiness.
+    pub state: LineState,
+    /// The P/V flag: whether the line maps to the persistent NVM region.
+    pub persistent: bool,
+    /// Transaction that last dirtied the line, if it was a transactional
+    /// persistent store (cleared when the transaction commits).
+    pub tx: Option<TxId>,
+    /// Pinned lines are skipped by replacement (NVLLC uncommitted data).
+    pub pinned: bool,
+    /// LRU clock value of the last touch.
+    pub last_use: u64,
+    /// LRU clock value of the fill (for FIFO replacement).
+    pub filled_at: u64,
+}
+
+impl CacheLine {
+    /// An invalid line.
+    #[must_use]
+    pub fn new() -> Self {
+        CacheLine::default()
+    }
+
+    /// Resets the line to invalid, clearing all flags.
+    pub fn invalidate(&mut self) {
+        *self = CacheLine::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(!LineState::Invalid.is_valid());
+        assert!(LineState::Clean.is_valid());
+        assert!(!LineState::Clean.is_dirty());
+        assert!(LineState::Dirty.is_dirty());
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut l = CacheLine {
+            tag: 5,
+            state: LineState::Dirty,
+            persistent: true,
+            tx: Some(TxId::new(0, 1)),
+            pinned: true,
+            last_use: 9,
+            filled_at: 3,
+        };
+        l.invalidate();
+        assert!(!l.state.is_valid());
+        assert!(!l.pinned);
+        assert_eq!(l.tx, None);
+        assert!(!l.persistent);
+    }
+}

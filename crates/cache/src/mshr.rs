@@ -1,0 +1,120 @@
+//! Miss-status holding registers: merge concurrent misses to one line.
+
+use core::fmt;
+use std::collections::HashMap;
+use std::error::Error;
+
+use pmacc_types::LineAddr;
+
+/// Returned when all MSHR entries are in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrFullError;
+
+impl fmt::Display for MshrFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("all MSHR entries in use")
+    }
+}
+
+impl Error for MshrFullError {}
+
+/// A table of outstanding misses. Each entry tracks the waiters (opaque
+/// `W` tokens, e.g. core ids or request ids) that merged onto the miss.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_cache::Mshr;
+/// use pmacc_types::LineAddr;
+///
+/// let mut m: Mshr<u32> = Mshr::new(2);
+/// assert!(m.allocate(LineAddr::new(1), 7).expect("room"));   // primary miss
+/// assert!(!m.allocate(LineAddr::new(1), 8).expect("room"));  // merged
+/// let waiters = m.complete(LineAddr::new(1)).expect("entry exists");
+/// assert_eq!(waiters, vec![7, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<W> {
+    entries: HashMap<LineAddr, Vec<W>>,
+    capacity: usize,
+}
+
+impl<W> Mshr<W> {
+    /// Creates a table with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Mshr {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Registers a miss on `line` by waiter `w`.
+    ///
+    /// Returns `Ok(true)` for a *primary* miss (the caller must fetch the
+    /// line) and `Ok(false)` for a merged secondary miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrFullError`] if a new entry is needed but the table is
+    /// full; the access must retry later.
+    pub fn allocate(&mut self, line: LineAddr, w: W) -> Result<bool, MshrFullError> {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(w);
+            return Ok(false);
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(MshrFullError);
+        }
+        self.entries.insert(line, vec![w]);
+        Ok(true)
+    }
+
+    /// Whether a miss on `line` is outstanding.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Completes the miss on `line`, returning its waiters in merge order.
+    pub fn complete(&mut self, line: LineAddr) -> Option<Vec<W>> {
+        self.entries.remove(&line)
+    }
+
+    /// Number of outstanding misses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_table_rejects_new_lines_but_merges_existing() {
+        let mut m: Mshr<u8> = Mshr::new(1);
+        assert_eq!(m.allocate(LineAddr::new(1), 0), Ok(true));
+        assert_eq!(m.allocate(LineAddr::new(2), 1), Err(MshrFullError));
+        assert_eq!(m.allocate(LineAddr::new(1), 2), Ok(false));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn complete_clears_entry() {
+        let mut m: Mshr<u8> = Mshr::new(4);
+        m.allocate(LineAddr::new(3), 9).unwrap();
+        assert!(m.contains(LineAddr::new(3)));
+        assert_eq!(m.complete(LineAddr::new(3)), Some(vec![9]));
+        assert!(!m.contains(LineAddr::new(3)));
+        assert_eq!(m.complete(LineAddr::new(3)), None);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-level and hierarchy-wide cache statistics.
+
+use pmacc_types::{Counter, Ratio};
+
+/// Counters for one cache instance. Figure 8 of the paper (LLC miss rate)
+/// is computed from the LLC instance's [`CacheStats::accesses`].
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Hit/total ratio over all accesses.
+    pub accesses: Ratio,
+    /// Valid lines displaced by fills.
+    pub evictions: Counter,
+    /// Evicted lines that were dirty.
+    pub dirty_evictions: Counter,
+    /// Dirty *persistent* evictions (the lines the TC scheme drops).
+    pub persistent_dirty_evictions: Counter,
+    /// Fills that found every way of the target set pinned (NVLLC).
+    pub pin_blocked: Counter,
+    /// Pinned lines forcibly unpinned by the overflow escape hatch.
+    pub forced_unpins: Counter,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Miss rate in `[0, 1]`.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        self.accesses.complement()
+    }
+}
+
+/// Statistics of the whole hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchyStats {
+    /// Per-core L1 statistics.
+    pub l1: Vec<CacheStats>,
+    /// Per-core L2 statistics.
+    pub l2: Vec<CacheStats>,
+    /// Shared LLC statistics.
+    pub llc: CacheStats,
+}
+
+impl HierarchyStats {
+    /// Creates zeroed statistics for `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        HierarchyStats {
+            l1: vec![CacheStats::new(); cores],
+            l2: vec![CacheStats::new(); cores],
+            llc: CacheStats::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate() {
+        let mut s = CacheStats::new();
+        s.accesses.record(true);
+        s.accesses.record(true);
+        s.accesses.record(false);
+        assert!((s.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_shape() {
+        let h = HierarchyStats::new(4);
+        assert_eq!(h.l1.len(), 4);
+        assert_eq!(h.l2.len(), 4);
+    }
+}

@@ -1,0 +1,30 @@
+use pmacc::{RunConfig, System};
+use pmacc_cpu::StallKind;
+use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+fn main() {
+    let mut params = WorkloadParams::evaluation(42);
+    params.num_ops = 5000;
+    for kind in WorkloadKind::all() {
+        println!("=== {kind} ===");
+        let mut base = None;
+        for scheme in [SchemeKind::Optimal, SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc] {
+            let cfg = MachineConfig::dac17_scaled().with_scheme(scheme);
+            let t0 = std::time::Instant::now();
+            let mut sys = System::for_workload(cfg, kind, &params, &RunConfig::default()).unwrap();
+            let r = sys.run().unwrap();
+            if scheme == SchemeKind::Optimal { base = Some(r.clone()); }
+            let b = base.as_ref().unwrap();
+            println!("{scheme:>8}: IPC {:.3} ({:.3}) thr ({:.3}) llcmiss {:.4} ({:.3}) nvmW {} ({:.2}) ploadlat {:.1} ({:.2}) tcstall {:.4} wall {:?}",
+                r.ipc(), r.ipc()/b.ipc(),
+                r.throughput()/b.throughput(),
+                r.llc_miss_rate(), if b.llc_miss_rate()>0.0 {r.llc_miss_rate()/b.llc_miss_rate()} else {0.0},
+                r.nvm_write_traffic(), r.nvm_write_traffic() as f64 / b.nvm_write_traffic().max(1) as f64,
+                r.persistent_load_latency(), if b.persistent_load_latency()>0.0 {r.persistent_load_latency()/b.persistent_load_latency()} else {0.0},
+                r.stall_fraction(StallKind::TxCacheFull),
+                t0.elapsed());
+            eprintln!("   events={} cycles={}", sys.events_processed, r.cycles);
+        }
+    }
+}

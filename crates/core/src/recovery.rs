@@ -1,0 +1,547 @@
+//! Crash injection, per-scheme recovery and the atomicity checker.
+//!
+//! A simulated crash keeps only what the hardware keeps: the NVM image,
+//! the STT-RAM transaction caches (data *and* state bits, Table 1), the
+//! NVLLC's committed lines and the durable COW areas. Each scheme's
+//! recovery procedure rebuilds a consistent NVM image from those, and
+//! [`check_recovery`] verifies the result equals replaying exactly the
+//! transactions that committed before the crash — all-or-nothing, in
+//! program order.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use pmacc_mem::Backing;
+use pmacc_types::{layout, Cycle, SchemeKind, TxId, Word, WordAddr};
+
+use crate::scheme::sp::{self, LogElem};
+use crate::txcache::{EntryState, TcEntry};
+
+/// One committed transaction in the golden journal (oracle only — real
+/// recovery never reads this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxRecord {
+    /// Transaction identity.
+    pub tx: TxId,
+    /// Cycle at which `TX_END` completed (the durability point).
+    pub commit_cycle: Cycle,
+    /// Persistent writes, in program order.
+    pub writes: Vec<(WordAddr, Word)>,
+}
+
+/// Durable image of one overflowed (copy-on-write) transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CowTxShadow {
+    /// Transaction identity.
+    pub tx: TxId,
+    /// Shadow copies durable in the COW area.
+    pub records: Vec<(WordAddr, Word)>,
+    /// Whether the commit record persisted.
+    pub committed: bool,
+}
+
+/// Everything that survives a power failure, plus the checking oracle.
+#[derive(Debug, Clone)]
+pub struct CrashState {
+    /// Crash cycle.
+    pub cycle: Cycle,
+    /// Scheme that was running.
+    pub scheme: SchemeKind,
+    /// Core count.
+    pub cores: usize,
+    /// Durable NVM image at the crash.
+    pub nvm: Backing,
+    /// NVM image at simulation start (for the checker's replay).
+    pub initial_nvm: Backing,
+    /// Per-core transaction-cache contents (STT-RAM), FIFO order.
+    pub txcaches: Vec<Vec<TcEntry>>,
+    /// NVLLC committed-line image (word granularity).
+    pub nv_llc_committed: HashMap<WordAddr, Word>,
+    /// Per-core COW-area shadows.
+    pub cow: Vec<Vec<CowTxShadow>>,
+    /// Golden journal of committed transactions (oracle).
+    pub journal: Vec<TxRecord>,
+    /// Per-core transaction in flight at the crash (oracle): its identity
+    /// and the persistent writes it had issued so far. A scheme may
+    /// legitimately recover such a transaction completely — its commit
+    /// became durable but `TX_END` had not retired — or not at all;
+    /// recovering it partially is an atomicity violation.
+    pub in_flight: Vec<Option<TxRecord>>,
+}
+
+/// Runs the scheme's recovery procedure, returning the recovered NVM image.
+///
+/// # Example
+///
+/// ```
+/// use pmacc::recovery::{check_recovery, recover};
+/// use pmacc::{RunConfig, System};
+/// use pmacc_types::{MachineConfig, SchemeKind};
+/// use pmacc_workloads::{WorkloadKind, WorkloadParams};
+///
+/// let mut sys = System::for_workload(
+///     MachineConfig::small().with_scheme(SchemeKind::TxCache),
+///     WorkloadKind::Sps,
+///     &WorkloadParams::tiny(1),
+///     &RunConfig::default(),
+/// )?;
+/// sys.run_until(2_000)?; // power fails mid-run
+/// let state = sys.crash_state();
+/// let recovered = recover(&state);
+/// check_recovery(&state, &recovered).expect("transaction-atomic");
+/// # Ok::<(), pmacc_types::SimError>(())
+/// ```
+#[must_use]
+pub fn recover(state: &CrashState) -> Backing {
+    let mut nvm = state.nvm.clone();
+    match state.scheme {
+        SchemeKind::Optimal => {
+            // No persistence support: whatever reached the NVM is all
+            // there is.
+        }
+        SchemeKind::Sp => {
+            // Parse each core's write-ahead log out of the NVM image and
+            // redo the records of committed transactions, in log order.
+            for core in 0..state.cores {
+                let elems = sp::parse_log(core, &|w| nvm.read_word(w));
+                let committed: Vec<u64> = elems
+                    .iter()
+                    .filter_map(|e| match e {
+                        LogElem::Commit { serial } => Some(*serial),
+                        LogElem::Record { .. } => None,
+                    })
+                    .collect();
+                for e in &elems {
+                    if let LogElem::Record {
+                        serial,
+                        addr,
+                        value,
+                    } = e
+                    {
+                        if committed.contains(serial) {
+                            nvm.write_word(*addr, *value);
+                        }
+                    }
+                }
+            }
+        }
+        SchemeKind::TxCache => {
+            // Per core, merge the two durable sources — committed
+            // transaction-cache entries (FIFO order) and committed COW
+            // shadows — and redo them in ascending TxID order, so a
+            // transaction that overflowed to the COW path interleaves
+            // correctly with its TC-buffered neighbours. A transaction is
+            // entirely in one source: overflowing discards its TC entries.
+            for core in 0..state.cores {
+                let mut by_serial: std::collections::BTreeMap<u64, Vec<(WordAddr, Word)>> =
+                    std::collections::BTreeMap::new();
+                for e in &state.txcaches[core] {
+                    if e.state == EntryState::Committed {
+                        let bucket = by_serial.entry(e.tx.serial()).or_default();
+                        for (i, v) in e.values.iter().enumerate() {
+                            if let Some(v) = v {
+                                bucket.push((e.line.word(i), *v));
+                            }
+                        }
+                    }
+                }
+                for s in &state.cow[core] {
+                    if s.committed {
+                        by_serial
+                            .entry(s.tx.serial())
+                            .or_default()
+                            .extend(s.records.iter().copied());
+                    }
+                }
+                for (_, writes) in by_serial {
+                    for (w, v) in writes {
+                        nvm.write_word(w, v);
+                    }
+                }
+            }
+        }
+        SchemeKind::NvLlc => {
+            // The nonvolatile LLC's committed lines are part of the
+            // persistence domain: overlay them.
+            for (&w, &v) in &state.nv_llc_committed {
+                nvm.write_word(w, v);
+            }
+        }
+    }
+    nvm
+}
+
+/// The work a scheme's recovery procedure performs after a crash —
+/// quantifying the paper's §3 recovery discussion ("we can recover the
+/// data using the buffered writes in the TC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryCost {
+    /// Durable words the procedure had to *scan* (log walk, TC array
+    /// read-out, LLC tag walk).
+    pub words_scanned: u64,
+    /// NVM word writes the procedure performs to redo committed state.
+    pub words_replayed: u64,
+    /// Estimated wall time in nanoseconds (scans at NVM/STT-RAM read
+    /// latency per line, replays at NVM write latency per line).
+    pub estimated_ns: u64,
+}
+
+/// Estimates the recovery cost for `state` on `machine` without mutating
+/// anything (run [`recover`] for the actual image).
+#[must_use]
+pub fn recovery_cost(
+    state: &CrashState,
+    machine: &pmacc_types::MachineConfig,
+) -> RecoveryCost {
+    use pmacc_types::WORDS_PER_LINE;
+    let mut cost = RecoveryCost::default();
+    match state.scheme {
+        SchemeKind::Optimal => {}
+        SchemeKind::Sp => {
+            for core in 0..state.cores {
+                let elems = sp::parse_log(core, &|w| state.nvm.read_word(w));
+                let mut committed = Vec::new();
+                for e in &elems {
+                    match e {
+                        LogElem::Commit { serial } => committed.push(*serial),
+                        LogElem::Record { .. } => cost.words_scanned += 2,
+                    }
+                }
+                cost.words_scanned += 2 * committed.len() as u64; // markers
+                for e in &elems {
+                    if let LogElem::Record { serial, .. } = e {
+                        if committed.contains(serial) {
+                            cost.words_replayed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        SchemeKind::TxCache => {
+            for entries in &state.txcaches {
+                // The whole STT-RAM array is read out once.
+                cost.words_scanned +=
+                    machine.txcache.entries() as u64 * WORDS_PER_LINE as u64;
+                for e in entries {
+                    if e.state == EntryState::Committed {
+                        cost.words_replayed +=
+                            e.values.iter().filter(|v| v.is_some()).count() as u64;
+                    }
+                }
+            }
+            for shadows in &state.cow {
+                for s in shadows {
+                    cost.words_scanned += 2 * s.records.len() as u64 + 2;
+                    if s.committed {
+                        cost.words_replayed += s.records.len() as u64;
+                    }
+                }
+            }
+        }
+        SchemeKind::NvLlc => {
+            // The NV-LLC is already in the persistence domain: recovery
+            // walks the tag array to discard uncommitted lines; no data
+            // moves.
+            cost.words_scanned += machine.llc.lines();
+        }
+    }
+    let lines_scanned = cost.words_scanned.div_ceil(WORDS_PER_LINE as u64);
+    let lines_replayed = cost.words_replayed.div_ceil(WORDS_PER_LINE as u64);
+    cost.estimated_ns = (lines_scanned as f64 * machine.nvm.read_ns
+        + lines_replayed as f64 * machine.nvm.write_ns) as u64;
+    cost
+}
+
+/// A recovered image failed the atomicity/durability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryError {
+    /// Words whose recovered value differs from the committed-replay
+    /// expectation, as `(address, expected, recovered)` — first few only.
+    pub mismatches: Vec<(WordAddr, Word, Word)>,
+    /// Total number of mismatching words.
+    pub total: usize,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} recovered words mismatch; first: ", self.total)?;
+        for (w, e, g) in self.mismatches.iter().take(3) {
+            write!(f, "[{w}: expected {e:#x}, got {g:#x}] ")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Checks that `recovered` equals replaying, over the initial image,
+/// every transaction that committed before the crash — all-or-nothing and
+/// in program order — optionally plus each core's single *in-flight*
+/// transaction, also all-or-nothing (its commit may have become durable
+/// without `TX_END` retiring; accepting it is a legitimate outcome).
+/// Only the persistent *heap* is compared (log and COW areas are
+/// scheme-private scratch space).
+///
+/// # Errors
+///
+/// Returns a [`RecoveryError`] describing the mismatching words.
+pub fn check_recovery(state: &CrashState, recovered: &Backing) -> Result<(), RecoveryError> {
+    let heap_base = layout::persistent_heap_base().word();
+    // Expected image: initial + committed-transaction writes in order.
+    // Journal order is commit order per core; cores touch disjoint words.
+    let mut expected: HashMap<WordAddr, Word> = state
+        .initial_nvm
+        .iter()
+        .filter(|(w, _)| *w >= heap_base)
+        .collect();
+    let mut touched: Vec<WordAddr> = expected.keys().copied().collect();
+    for rec in &state.journal {
+        for &(w, v) in &rec.writes {
+            if w >= heap_base {
+                expected.insert(w, v);
+                touched.push(w);
+            }
+        }
+    }
+    // The alternative image with a core's in-flight transaction applied.
+    let mut with_in_flight = expected.clone();
+    let mut in_flight_words: Vec<WordAddr> = Vec::new();
+    for rec in state.in_flight.iter().flatten() {
+        for &(w, v) in &rec.writes {
+            if w >= heap_base {
+                with_in_flight.insert(w, v);
+                in_flight_words.push(w);
+                touched.push(w);
+            }
+        }
+    }
+    in_flight_words.sort();
+    in_flight_words.dedup();
+    // Also examine every heap word the recovered image knows about, so
+    // stray uncommitted writes are caught.
+    touched.extend(recovered.iter().map(|(w, _)| w).filter(|w| *w >= heap_base));
+    touched.sort();
+    touched.dedup();
+
+    // Words touched by an in-flight transaction must be *consistently*
+    // either all pre- or all post-transaction per core; since cores write
+    // disjoint heap slices, a global two-way choice per word set suffices:
+    // group in-flight words by the owning record.
+    let mut mismatches = Vec::new();
+    for w in touched {
+        let want = expected.get(&w).copied().unwrap_or(0);
+        let got = recovered.read_word(w);
+        if want != got {
+            mismatches.push((w, want, got));
+        }
+    }
+    // Try to explain mismatches with in-flight transactions, one whole
+    // transaction at a time.
+    if !mismatches.is_empty() && !in_flight_words.is_empty() {
+        for rec in state.in_flight.iter().flatten() {
+            let words: Vec<WordAddr> = {
+                let mut v: Vec<WordAddr> =
+                    rec.writes.iter().map(|&(w, _)| w).filter(|w| *w >= heap_base).collect();
+                v.sort();
+                v.dedup();
+                v
+            };
+            // Accept this transaction only if *all* its words match the
+            // post-transaction image.
+            let all_match = words
+                .iter()
+                .all(|w| recovered.read_word(*w) == with_in_flight.get(w).copied().unwrap_or(0));
+            if all_match {
+                mismatches.retain(|(w, _, _)| !words.contains(w));
+            }
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        let total = mismatches.len();
+        mismatches.truncate(16);
+        Err(RecoveryError { mismatches, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmacc_types::Addr;
+
+    fn heap_word(i: u64) -> WordAddr {
+        layout::persistent_heap_base().offset(i * 8).word()
+    }
+
+    fn base_state(scheme: SchemeKind) -> CrashState {
+        CrashState {
+            cycle: 100,
+            scheme,
+            cores: 1,
+            nvm: Backing::new(),
+            initial_nvm: Backing::new(),
+            txcaches: vec![Vec::new()],
+            nv_llc_committed: HashMap::new(),
+            cow: vec![Vec::new()],
+            journal: Vec::new(),
+            in_flight: vec![None],
+        }
+    }
+
+    #[test]
+    fn optimal_recovery_is_identity() {
+        let mut st = base_state(SchemeKind::Optimal);
+        st.nvm.write_word(heap_word(0), 42);
+        let rec = recover(&st);
+        assert_eq!(rec.read_word(heap_word(0)), 42);
+    }
+
+    #[test]
+    fn tc_recovery_replays_committed_discards_active() {
+        let mut st = base_state(SchemeKind::TxCache);
+        let mut committed = TcEntry {
+            state: EntryState::Committed,
+            tx: TxId::new(0, 0),
+            line: heap_word(0).line(),
+            values: [None; 8],
+            issued: false,
+        };
+        committed.values[0] = Some(7);
+        let mut active = committed;
+        active.state = EntryState::Active;
+        active.tx = TxId::new(0, 1);
+        active.values[0] = Some(99);
+        active.line = heap_word(8).line();
+        st.txcaches[0] = vec![committed, active];
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 0),
+            commit_cycle: 50,
+            writes: vec![(heap_word(0), 7)],
+        });
+        let rec = recover(&st);
+        assert_eq!(rec.read_word(heap_word(0)), 7);
+        assert_eq!(rec.read_word(heap_word(8)), 0, "active entry discarded");
+        check_recovery(&st, &rec).unwrap();
+    }
+
+    #[test]
+    fn tc_recovery_redoes_committed_cow() {
+        let mut st = base_state(SchemeKind::TxCache);
+        st.cow[0].push(CowTxShadow {
+            tx: TxId::new(0, 0),
+            records: vec![(heap_word(1), 5)],
+            committed: true,
+        });
+        st.cow[0].push(CowTxShadow {
+            tx: TxId::new(0, 1),
+            records: vec![(heap_word(2), 6)],
+            committed: false,
+        });
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 0),
+            commit_cycle: 10,
+            writes: vec![(heap_word(1), 5)],
+        });
+        let rec = recover(&st);
+        assert_eq!(rec.read_word(heap_word(1)), 5);
+        assert_eq!(rec.read_word(heap_word(2)), 0);
+        check_recovery(&st, &rec).unwrap();
+    }
+
+    #[test]
+    fn nvllc_recovery_overlays_committed_lines() {
+        let mut st = base_state(SchemeKind::NvLlc);
+        st.nv_llc_committed.insert(heap_word(3), 11);
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 0),
+            commit_cycle: 10,
+            writes: vec![(heap_word(3), 11)],
+        });
+        let rec = recover(&st);
+        assert_eq!(rec.read_word(heap_word(3)), 11);
+        check_recovery(&st, &rec).unwrap();
+    }
+
+    #[test]
+    fn checker_catches_lost_committed_write() {
+        let mut st = base_state(SchemeKind::Optimal);
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 0),
+            commit_cycle: 10,
+            writes: vec![(heap_word(0), 9)],
+        });
+        let rec = recover(&st); // NVM never got the write
+        let err = check_recovery(&st, &rec).unwrap_err();
+        assert_eq!(err.total, 1);
+        assert_eq!(err.mismatches[0], (heap_word(0), 9, 0));
+    }
+
+    #[test]
+    fn checker_catches_torn_transaction() {
+        let mut st = base_state(SchemeKind::Optimal);
+        // Uncommitted write leaked to NVM (no journal entry).
+        st.nvm.write_word(heap_word(4), 123);
+        let rec = recover(&st);
+        let err = check_recovery(&st, &rec).unwrap_err();
+        assert_eq!(err.total, 1);
+    }
+
+    #[test]
+    fn checker_ignores_log_area_noise() {
+        let mut st = base_state(SchemeKind::Optimal);
+        // Scratch writes below the heap are scheme-private.
+        st.nvm
+            .write_word(Addr::nvm_base().word(), 0xDEAD);
+        let rec = recover(&st);
+        check_recovery(&st, &rec).unwrap();
+    }
+
+    #[test]
+    fn recovery_cost_reflects_scheme_mechanisms() {
+        use pmacc_types::MachineConfig;
+        let machine = MachineConfig::small();
+        // Optimal recovers nothing.
+        let opt = base_state(SchemeKind::Optimal);
+        assert_eq!(recovery_cost(&opt, &machine), RecoveryCost::default());
+        // TC scans its array and replays committed words.
+        let mut tc_state = base_state(SchemeKind::TxCache);
+        let mut e = TcEntry {
+            state: EntryState::Committed,
+            tx: TxId::new(0, 0),
+            line: heap_word(0).line(),
+            values: [None; 8],
+            issued: false,
+        };
+        e.values[0] = Some(1);
+        e.values[1] = Some(2);
+        tc_state.txcaches[0] = vec![e];
+        let c = recovery_cost(&tc_state, &machine);
+        assert_eq!(c.words_replayed, 2);
+        assert!(c.words_scanned >= machine.txcache.entries() as u64 * 8);
+        assert!(c.estimated_ns > 0);
+        // NVLLC only walks tags.
+        let nv = base_state(SchemeKind::NvLlc);
+        let c = recovery_cost(&nv, &machine);
+        assert_eq!(c.words_replayed, 0);
+        assert_eq!(c.words_scanned, machine.llc.lines());
+    }
+
+    #[test]
+    fn later_commits_overwrite_earlier_ones_in_expectation() {
+        let mut st = base_state(SchemeKind::Optimal);
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 0),
+            commit_cycle: 1,
+            writes: vec![(heap_word(0), 1)],
+        });
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 1),
+            commit_cycle: 2,
+            writes: vec![(heap_word(0), 2)],
+        });
+        st.nvm.write_word(heap_word(0), 2);
+        let rec = recover(&st);
+        check_recovery(&st, &rec).unwrap();
+    }
+}

@@ -1,0 +1,44 @@
+//! The four persistence schemes compared in §5 of the paper.
+//!
+//! A scheme is two things:
+//!
+//! 1. **Trace instrumentation** — what extra instructions software must
+//!    execute. Only `SP` instruments anything (write-ahead logging with
+//!    `clwb`/`sfence` write-order control, Figure 3a); `Optimal`, `TC` and
+//!    `NVLLC` run the raw trace, because their persistence support (none /
+//!    transaction cache / nonvolatile LLC) is in hardware.
+//! 2. **Runtime behaviour** — how the system layer routes stores, commits
+//!    and LLC evictions. That half lives in [`crate::System`], keyed by
+//!    [`SchemeKind`].
+
+pub mod sp;
+
+use pmacc_cpu::Trace;
+use pmacc_types::SchemeKind;
+
+/// Applies the scheme's software instrumentation to a core's trace.
+///
+/// # Example
+///
+/// ```
+/// use pmacc::scheme::instrument;
+/// use pmacc_cpu::{Op, Trace};
+/// use pmacc_types::{Addr, SchemeKind};
+///
+/// let mut t = Trace::new();
+/// t.push(Op::TxBegin);
+/// t.push(Op::store(Addr::nvm_base(), 1));
+/// t.push(Op::TxEnd);
+///
+/// // Hardware schemes leave the trace alone.
+/// assert_eq!(instrument(SchemeKind::TxCache, 0, &t), t);
+/// // Software logging makes it much longer.
+/// assert!(instrument(SchemeKind::Sp, 0, &t).len() > t.len());
+/// ```
+#[must_use]
+pub fn instrument(scheme: SchemeKind, core: usize, trace: &Trace) -> Trace {
+    match scheme {
+        SchemeKind::Sp => sp::instrument(core, trace),
+        SchemeKind::Optimal | SchemeKind::TxCache | SchemeKind::NvLlc => trace.clone(),
+    }
+}

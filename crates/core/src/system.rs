@@ -1,0 +1,2026 @@
+//! The full-system simulator: cores, cache hierarchy, transaction caches
+//! and memory controllers wired together under one event loop.
+//!
+//! The simulator is *discrete-event* at cycle resolution. Cores advance
+//! through their (scheme-instrumented) traces in batches; loads that reach
+//! memory, store drains, transaction-cache drains and write-backs flow
+//! through the [`pmacc_mem::MemController`] models, whose completions wake
+//! the dependent components. A parallel *functional* model carries 64-bit
+//! word values so that crash recovery can be verified, not assumed: the
+//! NVM [`Backing`], the STT-RAM transaction caches, the SP log (parsed out
+//! of the NVM image) and the NVLLC committed-line image all survive a
+//! simulated crash; everything else dies with it.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use pmacc_cache::{Access, Eviction, Hierarchy, HierarchyOpts, Level, Mshr, WriteBackBuffer};
+use pmacc_cpu::{CoreStats, Op, StallKind, StoreBuffer, Trace, TxRegs};
+use pmacc_cpu::{PendingStore, StoreKind};
+use pmacc_mem::{Backing, Completion, MemController, SchedPolicy};
+use pmacc_types::{
+    layout, AccessKind, Addr, ConfigError, Counter, Cycle, LineAddr, MachineConfig, MemRegion,
+    MemReq, ReqId, SchemeKind, SimError, TxId, Word, WordAddr, WORDS_PER_LINE, WORD_BYTES,
+};
+use pmacc_workloads::{build, WorkloadKind, WorkloadParams};
+
+use crate::metrics::RunReport;
+use crate::recovery::{CowTxShadow, CrashState, TxRecord};
+use crate::scheme;
+use crate::txcache::TxCache;
+
+/// Per-core address stride so each core's workload instance occupies a
+/// disjoint 1 GiB slice of both heaps (cores do not share data, as in the
+/// paper's rate-style multiprogrammed evaluation).
+const CORE_STRIDE: u64 = 1 << 30;
+/// Cores supported by the striding (the paper evaluates 4).
+const MAX_STRIDED_CORES: usize = 6;
+
+/// Batch limits for one core-step event (fairness between components).
+const STEP_OPS: usize = 64;
+const STEP_CYCLES: Cycle = 256;
+/// Retry interval when an NVLLC fill finds its LLC set fully pinned.
+const PIN_RETRY: Cycle = 64;
+/// Forced unpins start after this many pin-blocked retries.
+const PIN_RETRY_LIMIT: u32 = 8;
+
+/// Run-level options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Abort with [`SimError::Deadlock`] beyond this many cycles.
+    pub max_cycles: Cycle,
+    /// Committed transactions (across all cores) to treat as warm-up:
+    /// when reached, every statistic resets so the report covers only the
+    /// warmed region. Zero measures from a cold start (the recorded
+    /// `EXPERIMENTS.md` configuration). The recovery journal is *not*
+    /// reset — crash consistency always covers the whole run.
+    pub warmup_commits: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_cycles: 20_000_000_000,
+            warmup_commits: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    CoreStep(usize),
+    MemPoke(u8), // 0 = NVM, 1 = DRAM
+    TcDrain(usize),
+}
+
+#[derive(Debug, Clone)]
+enum Origin {
+    LoadFill {
+        core: usize,
+    },
+    Writeback {
+        line: LineAddr,
+        words: [Word; WORDS_PER_LINE],
+    },
+    FlushAck {
+        core: usize,
+        words: [Word; WORDS_PER_LINE],
+        line: LineAddr,
+    },
+    TcAck {
+        core: usize,
+        slot: usize,
+        line: LineAddr,
+        values: [Option<Word>; WORDS_PER_LINE],
+    },
+    CowData {
+        core: usize,
+    },
+    CowRecord {
+        core: usize,
+        tx: TxId,
+    },
+    CowInstall {
+        core: usize,
+        tx: TxId,
+        word: WordAddr,
+        value: Word,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxEndPhase {
+    WaitCowData,
+    WaitCowRecord,
+}
+
+#[derive(Debug)]
+struct CoreCtx {
+    idx: usize,
+    time: Cycle,
+    slot_accum: u32,
+    regs: TxRegs,
+    sb: StoreBuffer,
+    sb_times: VecDeque<Cycle>,
+    last_drain: Cycle,
+    pending_flushes: usize,
+    blocked: Option<StallKind>,
+    stall_started: Cycle,
+    finished: bool,
+    stats: CoreStats,
+    // An outstanding demand load: (line, arrival, started, persistent).
+    pending_load: Option<(LineAddr, Cycle, Cycle, bool)>,
+    // Whether the pending load has been accepted by a memory controller.
+    load_inflight: bool,
+    // Current-transaction bookkeeping.
+    tx_writes: Vec<(WordAddr, Word)>,
+    tx_lines: Vec<LineAddr>,
+    txend: Option<(TxId, Option<TxEndPhase>)>,
+    // Copy-on-write fall-back state (TC overflow).
+    cow_active: bool,
+    cow_pending: usize,
+    cow_cursor: u64,
+    pin_retries: u32,
+    /// A `pcommit` is waiting for the NVM writes accepted before it (this
+    /// durable-count target) to complete.
+    pcommit: Option<u64>,
+}
+
+impl CoreCtx {
+    fn new(core: usize, cfg: &MachineConfig) -> Self {
+        CoreCtx {
+            idx: 0,
+            time: 0,
+            slot_accum: 0,
+            regs: TxRegs::new(core as u8),
+            sb: StoreBuffer::new(cfg.core.store_buffer),
+            sb_times: VecDeque::new(),
+            last_drain: 0,
+            pending_flushes: 0,
+            blocked: None,
+            stall_started: 0,
+            finished: false,
+            stats: CoreStats::new(),
+            pending_load: None,
+            load_inflight: false,
+            tx_writes: Vec::new(),
+            tx_lines: Vec::new(),
+            txend: None,
+            cow_active: false,
+            cow_pending: 0,
+            cow_cursor: 0,
+            pin_retries: 0,
+            pcommit: None,
+        }
+    }
+
+    /// Charges `slots` issue slots at the configured width.
+    fn charge(&mut self, slots: u32, width: u32) {
+        self.slot_accum += slots;
+        self.time += Cycle::from(self.slot_accum / width);
+        self.slot_accum %= width;
+    }
+
+    /// Pops store-buffer entries that have drained by `self.time`.
+    fn drain_sb(&mut self) {
+        while let Some(&t) = self.sb_times.front() {
+            if t <= self.time {
+                self.sb_times.pop_front();
+                self.sb.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn begin_stall(&mut self, kind: StallKind) {
+        self.blocked = Some(kind);
+        self.stall_started = self.time;
+    }
+
+    fn end_stall(&mut self, now: Cycle) {
+        if let Some(kind) = self.blocked.take() {
+            let t = now.max(self.stall_started);
+            self.stats.add_stall(kind, t - self.stall_started);
+            self.time = self.time.max(t);
+        }
+    }
+}
+
+/// The simulated machine plus the traces it executes.
+///
+/// See the crate-level docs for a quickstart; [`System::for_workload`]
+/// builds a complete machine for one Table 3 benchmark, [`System::run`]
+/// executes to completion and returns the [`RunReport`] behind every
+/// figure, and [`System::run_until`] + [`System::crash_state`] drive the
+/// crash-recovery experiments.
+#[derive(Debug)]
+pub struct System {
+    cfg: MachineConfig,
+    traces: Vec<Trace>,
+    cores: Vec<CoreCtx>,
+    hier: Hierarchy,
+    tcs: Vec<TxCache>,
+    nvm: MemController,
+    dram: MemController,
+    nvm_backing: Backing,
+    dram_backing: Backing,
+    initial_nvm: Backing,
+    volatile: HashMap<WordAddr, Word>,
+    nv_llc_committed: HashMap<WordAddr, Word>,
+    cow_shadow: Vec<Vec<CowTxShadow>>,
+    /// Outstanding home-location installs per overflowed transaction;
+    /// its COW-area shadow is freed (truncated) when this reaches zero.
+    cow_installs: HashMap<(usize, TxId), usize>,
+    /// Oracle: per core, per transaction serial, the persistent data
+    /// writes the transaction performs — derived statically from the
+    /// traces, so it is independent of how far execution got (SP's commit
+    /// marker can become durable before its deferred data stores run).
+    tx_write_table: Vec<Vec<Vec<(WordAddr, Word)>>>,
+    /// Cycle at which measurement started (after warm-up, if any).
+    measure_start: Cycle,
+    warmup_done: bool,
+    journal: Vec<TxRecord>,
+    dropped_llc_writes: Counter,
+    clock: Cycle,
+    events: BinaryHeap<Reverse<(Cycle, u64, Event)>>,
+    seq: u64,
+    origins: HashMap<ReqId, Origin>,
+    next_req: u64,
+    /// Banked LLC port model: one access per cycle per bank; NVLLC commit
+    /// bursts hold a single bank for the full STT-RAM write.
+    llc_port_free: [Cycle; 4],
+    /// Outstanding demand-load fills, merged across cores (a second core
+    /// missing on an in-flight line piggybacks on the first fill).
+    mshr: Mshr<usize>,
+    /// Write-backs waiting for memory-controller queue room.
+    wb_pending: WriteBackBuffer,
+    mem_poke_at: [Option<Cycle>; 2],
+    tc_drain_at: Vec<Option<Cycle>>,
+    run_cfg: RunConfig,
+    /// Events processed (performance diagnostic).
+    pub events_processed: u64,
+    // Cached latencies (cycles).
+    lat_l1: Cycle,
+    lat_l2: Cycle,
+    lat_llc: Cycle,
+    lat_tc: Cycle,
+    /// NVLLC commit-flush (STT-RAM write) port occupancy per line.
+    lat_llc_write: Cycle,
+}
+
+impl System {
+    /// Builds a system executing the given *raw* per-core traces (the
+    /// scheme's instrumentation is applied here) over the given initial
+    /// persistent/volatile memory image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if the machine is invalid or has more
+    /// cores than traces/striding support.
+    pub fn new(
+        cfg: MachineConfig,
+        raw_traces: Vec<Trace>,
+        initial: &[(WordAddr, Word)],
+        run_cfg: &RunConfig,
+    ) -> Result<Self, SimError> {
+        let traces: Vec<Trace> = raw_traces
+            .iter()
+            .enumerate()
+            .map(|(c, t)| scheme::instrument(cfg.scheme, c, t))
+            .collect();
+        System::new_instrumented(cfg, traces, initial, run_cfg)
+    }
+
+    /// Like [`System::new`] but the traces are taken as already
+    /// instrumented (used by the SP-fencing ablation, which wants the
+    /// [`crate::scheme::sp::SpMode::Batched`] variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if the machine is invalid or the
+    /// trace count does not match the core count.
+    pub fn new_instrumented(
+        cfg: MachineConfig,
+        traces: Vec<Trace>,
+        initial: &[(WordAddr, Word)],
+        run_cfg: &RunConfig,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if traces.len() != cfg.cores {
+            return Err(ConfigError::new(format!(
+                "{} traces supplied for {} cores",
+                traces.len(),
+                cfg.cores
+            ))
+            .into());
+        }
+        for t in &traces {
+            t.validate()
+                .map_err(|e| ConfigError::new(format!("bad trace: {e}")))?;
+        }
+        let freq = cfg.core.freq;
+        let opts = HierarchyOpts {
+            pin_uncommitted_in_llc: cfg.scheme == SchemeKind::NvLlc,
+        };
+        let mut nvm_backing = Backing::new();
+        let mut dram_backing = Backing::new();
+        let mut volatile = HashMap::new();
+        for &(w, v) in initial {
+            volatile.insert(w, v);
+            if w.is_persistent() {
+                nvm_backing.write_word(w, v);
+            } else {
+                dram_backing.write_word(w, v);
+            }
+        }
+        let tx_write_table = traces.iter().map(tx_writes_of).collect();
+        let mut system = System {
+            cores: (0..cfg.cores).map(|c| CoreCtx::new(c, &cfg)).collect(),
+            hier: Hierarchy::new(cfg.cores, cfg.l1, cfg.l2, cfg.llc, opts),
+            tcs: (0..cfg.cores).map(|_| TxCache::new(&cfg.txcache)).collect(),
+            nvm: MemController::new(MemRegion::Nvm, cfg.nvm, SchedPolicy::FrFcfs),
+            dram: MemController::new(MemRegion::Dram, cfg.dram, SchedPolicy::FrFcfs),
+            initial_nvm: nvm_backing.clone(),
+            nvm_backing,
+            dram_backing,
+            volatile,
+            nv_llc_committed: HashMap::new(),
+            cow_shadow: vec![Vec::new(); cfg.cores],
+            cow_installs: HashMap::new(),
+            tx_write_table,
+            measure_start: 0,
+            warmup_done: false,
+            journal: Vec::new(),
+            dropped_llc_writes: Counter::new(),
+            clock: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            origins: HashMap::new(),
+            next_req: 0,
+            llc_port_free: [0; 4],
+            mshr: Mshr::new(16),
+            wb_pending: WriteBackBuffer::new(4096),
+            mem_poke_at: [None, None],
+            tc_drain_at: vec![None; cfg.cores],
+            run_cfg: *run_cfg,
+            events_processed: 0,
+            lat_l1: freq.ns_to_cycles(cfg.l1.latency_ns),
+            lat_l2: freq.ns_to_cycles(cfg.l2.latency_ns),
+            // Kiln's LLC is an STT-RAM array: slower than the SRAM LLC.
+            lat_llc: if cfg.scheme == SchemeKind::NvLlc {
+                freq.ns_to_cycles(cfg.nvllc.read_ns)
+            } else {
+                freq.ns_to_cycles(cfg.llc.latency_ns)
+            },
+            lat_llc_write: freq.ns_to_cycles(cfg.nvllc.write_ns),
+            lat_tc: cfg.txcache.latency_cycles(freq),
+            traces,
+            cfg,
+        };
+        for c in 0..system.cfg.cores {
+            system.push_event(0, Event::CoreStep(c));
+        }
+        Ok(system)
+    }
+
+    /// Builds a system where every core runs an independent instance of
+    /// one Table 3 benchmark (addresses striped per core so instances are
+    /// disjoint, as in a rate-style multiprogrammed run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for invalid machines or more than six
+    /// cores (the striding limit).
+    pub fn for_workload(
+        cfg: MachineConfig,
+        kind: WorkloadKind,
+        params: &WorkloadParams,
+        run_cfg: &RunConfig,
+    ) -> Result<Self, SimError> {
+        if cfg.cores > MAX_STRIDED_CORES {
+            return Err(ConfigError::new(format!(
+                "workload striding supports at most {MAX_STRIDED_CORES} cores"
+            ))
+            .into());
+        }
+        let mut traces = Vec::with_capacity(cfg.cores);
+        let mut initial = Vec::new();
+        for core in 0..cfg.cores {
+            let mut p = *params;
+            p.seed = params.seed.wrapping_add(core as u64 * 0x9E37_79B9);
+            let w = build(kind, &p);
+            traces.push(stride_trace(&w.trace, core));
+            initial.extend(
+                w.initial
+                    .iter()
+                    .map(|&(a, v)| (stride_word(a, core), v)),
+            );
+        }
+        System::new(cfg, traces, &initial, run_cfg)
+    }
+
+    /// Builds a system where each core runs a *different* benchmark — a
+    /// heterogeneous multiprogrammed mix (one workload kind per core,
+    /// addresses striped per core as in [`System::for_workload`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for invalid machines, a kind count
+    /// that does not match the core count, or more than six cores.
+    pub fn for_workload_mix(
+        cfg: MachineConfig,
+        kinds: &[WorkloadKind],
+        params: &WorkloadParams,
+        run_cfg: &RunConfig,
+    ) -> Result<Self, SimError> {
+        if kinds.len() != cfg.cores {
+            return Err(ConfigError::new(format!(
+                "{} workload kinds supplied for {} cores",
+                kinds.len(),
+                cfg.cores
+            ))
+            .into());
+        }
+        if cfg.cores > MAX_STRIDED_CORES {
+            return Err(ConfigError::new(format!(
+                "workload striding supports at most {MAX_STRIDED_CORES} cores"
+            ))
+            .into());
+        }
+        let mut traces = Vec::with_capacity(cfg.cores);
+        let mut initial = Vec::new();
+        for (core, kind) in kinds.iter().enumerate() {
+            let mut p = *params;
+            p.seed = params.seed.wrapping_add(core as u64 * 0x9E37_79B9);
+            let w = build(*kind, &p);
+            traces.push(stride_trace(&w.trace, core));
+            initial.extend(w.initial.iter().map(|&(a, v)| (stride_word(a, core), v)));
+        }
+        System::new(cfg, traces, &initial, run_cfg)
+    }
+
+    /// The machine configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The golden journal of committed transactions (oracle for the
+    /// recovery checker).
+    #[must_use]
+    pub fn journal(&self) -> &[TxRecord] {
+        &self.journal
+    }
+
+    fn push_event(&mut self, at: Cycle, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn schedule_mem_poke(&mut self, region: MemRegion, at: Cycle) {
+        let i = (region == MemRegion::Dram) as usize;
+        if self.mem_poke_at[i].is_none_or(|t| at < t) {
+            self.mem_poke_at[i] = Some(at);
+            self.push_event(at, Event::MemPoke(i as u8));
+        }
+    }
+
+    fn schedule_tc_drain(&mut self, c: usize, at: Cycle) {
+        if self.tc_drain_at[c].is_none_or(|t| at < t) {
+            self.tc_drain_at[c] = Some(at);
+            self.push_event(at, Event::TcDrain(c));
+        }
+    }
+
+    fn req_id(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(self.next_req)
+    }
+
+    /// Runs until every core finishes its trace; returns the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if no progress is possible or the
+    /// cycle bound is exceeded.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        self.run_until(Cycle::MAX)?;
+        if !self.all_finished() {
+            return Err(SimError::Deadlock {
+                cycle: self.clock,
+                what: "event queue drained with unfinished cores".into(),
+            });
+        }
+        Ok(self.report())
+    }
+
+    /// Processes events up to and including `limit` (a crash point), or
+    /// until everything quiesces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the cycle bound is exceeded.
+    pub fn run_until(&mut self, limit: Cycle) -> Result<(), SimError> {
+        while let Some(Reverse((t, _, _))) = self.events.peek().copied() {
+            if t > limit {
+                break;
+            }
+            if t > self.run_cfg.max_cycles {
+                return Err(SimError::Deadlock {
+                    cycle: t,
+                    what: "max cycle bound exceeded".into(),
+                });
+            }
+            let Reverse((t, _, ev)) = self.events.pop().expect("peeked event");
+            self.clock = t;
+            self.events_processed += 1;
+            match ev {
+                Event::CoreStep(c) => self.handle_core_step(c),
+                Event::MemPoke(i) => self.handle_mem_poke(i),
+                Event::TcDrain(c) => self.handle_tc_drain(c),
+            }
+        }
+        Ok(())
+    }
+
+    fn all_finished(&self) -> bool {
+        self.cores.iter().all(|c| c.finished)
+    }
+
+    /// The oracle's write list for one transaction (empty for serials
+    /// beyond the trace, which cannot happen in practice).
+    fn oracle_writes(&self, core: usize, tx: TxId) -> Vec<(WordAddr, Word)> {
+        self.tx_write_table[core]
+            .get(tx.serial() as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Builds the end-of-run report.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let mut cores = Vec::with_capacity(self.cores.len());
+        for c in &self.cores {
+            let mut s = c.stats.clone();
+            s.cycles = c.time.saturating_sub(self.measure_start);
+            cores.push(s);
+        }
+        let residual_nvm_lines = match self.cfg.scheme {
+            // Dropped on eviction: the TC path already persisted them.
+            SchemeKind::TxCache => 0,
+            // Uncommitted (pinned/tagged) lines are not owed to the NVM.
+            SchemeKind::NvLlc => self.hier.residual_persistent_dirty_lines(true),
+            SchemeKind::Optimal | SchemeKind::Sp => {
+                self.hier.residual_persistent_dirty_lines(false)
+            }
+        };
+        RunReport {
+            scheme: self.cfg.scheme,
+            cycles: self
+                .cores
+                .iter()
+                .map(|c| c.time)
+                .max()
+                .unwrap_or(0)
+                .saturating_sub(self.measure_start),
+            cores,
+            hierarchy: self.hier.stats.clone(),
+            nvm: self.nvm.stats.clone(),
+            dram: self.dram.stats.clone(),
+            tc: self.tcs.iter().map(|t| t.stats.clone()).collect(),
+            dropped_llc_writes: self.dropped_llc_writes.value(),
+            residual_nvm_lines,
+        }
+    }
+
+    /// Snapshots the durable state at the current cycle — what survives a
+    /// power failure: the NVM image, the STT-RAM transaction caches, the
+    /// NVLLC committed-line image and the COW areas — together with the
+    /// golden journal the checker compares against.
+    #[must_use]
+    pub fn crash_state(&self) -> CrashState {
+        CrashState {
+            cycle: self.clock,
+            scheme: self.cfg.scheme,
+            cores: self.cfg.cores,
+            nvm: self.nvm_backing.clone(),
+            initial_nvm: self.initial_nvm.clone(),
+            txcaches: self.tcs.iter().map(|t| t.entries_fifo()).collect(),
+            nv_llc_committed: self.nv_llc_committed.clone(),
+            cow: self.cow_shadow.clone(),
+            journal: self.journal.clone(),
+            in_flight: (0..self.cores.len())
+                .map(|c| {
+                    let core = &self.cores[c];
+                    let tx = core.regs.current().or(core.txend.map(|(t, _)| t))?;
+                    Some(TxRecord {
+                        tx,
+                        commit_cycle: self.clock,
+                        writes: self.oracle_writes(c, tx),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core stepping
+    // ------------------------------------------------------------------
+
+    fn handle_core_step(&mut self, c: usize) {
+        if self.cores[c].finished {
+            return;
+        }
+        if self.cores[c].blocked.is_some() {
+            self.retry_blocked(c);
+            return;
+        }
+        if self.cores[c].time > self.clock {
+            // Stale wakeup: whoever advanced the core past this event's
+            // time also scheduled a fresh wakeup at or after `core.time`
+            // (every unblock/batch path does), so this event can die —
+            // re-pushing it would make duplicates immortal.
+            return;
+        }
+        let start = self.cores[c].time;
+        for _ in 0..STEP_OPS {
+            if self.cores[c].blocked.is_some() || self.cores[c].finished {
+                return;
+            }
+            if self.cores[c].time - start > STEP_CYCLES {
+                break;
+            }
+            self.step_one(c);
+        }
+        if !self.cores[c].finished && self.cores[c].blocked.is_none() {
+            let at = self.cores[c].time.max(self.clock + 1);
+            self.push_event(at, Event::CoreStep(c));
+        }
+    }
+
+    fn retry_blocked(&mut self, c: usize) {
+        match self.cores[c].blocked {
+            Some(StallKind::Load) => {
+                // Retry a read enqueue that found the queue full. If the
+                // load is already in flight this event is stale: ignore it
+                // (the completion wakes the core exactly once).
+                if self.cores[c].load_inflight {
+                    return;
+                }
+                if let Some((line, arrival, _started, _p)) = self.cores[c].pending_load {
+                    let region = line.region();
+                    let ctrl = self.ctrl(region);
+                    if ctrl.can_accept(AccessKind::Read) {
+                        self.issue_load_fill(c, line, arrival);
+                    } else {
+                        let at = self.clock + 16;
+                        self.push_event(at, Event::CoreStep(c));
+                    }
+                }
+            }
+            Some(StallKind::Fence) => self.try_finish_fence(c),
+            Some(StallKind::TxCacheFull) => self.try_resume_tc(c),
+            Some(StallKind::PinBlocked) => {
+                self.cores[c].blocked = None;
+                let t = self.clock.max(self.cores[c].time);
+                let started = self.cores[c].stall_started;
+                self.cores[c]
+                    .stats
+                    .add_stall(StallKind::PinBlocked, t.saturating_sub(started));
+                self.cores[c].time = t;
+                self.handle_core_step(c);
+            }
+            _ => {}
+        }
+    }
+
+    fn step_one(&mut self, c: usize) {
+        let Some(op) = self.traces[c].get(self.cores[c].idx) else {
+            self.cores[c].finished = true;
+            self.cores[c].stats.cycles = self.cores[c].time;
+            return;
+        };
+        let width = self.cfg.core.issue_width;
+        self.cores[c].drain_sb();
+        match op {
+            Op::Compute(n) => {
+                self.cores[c].charge(n.max(1), width);
+                self.cores[c].stats.ops.add(u64::from(n.max(1)));
+                self.cores[c].idx += 1;
+            }
+            Op::TxBegin => {
+                self.cores[c].regs.begin();
+                self.cores[c].tx_writes.clear();
+                self.cores[c].tx_lines.clear();
+                self.cores[c].charge(1, width);
+                self.cores[c].stats.ops.inc();
+                self.cores[c].idx += 1;
+            }
+            Op::TxEnd => self.do_txend(c),
+            Op::Load { addr } => self.do_load(c, addr),
+            Op::Store { addr, value } => self.do_store(c, addr, value, StoreKind::Data),
+            Op::LogStore { addr, meta, value } => {
+                // Functional: the record header lands in the word after
+                // the base; the store path below handles the base word.
+                self.volatile.insert(addr.word(), meta);
+                self.volatile
+                    .insert(WordAddr::new(addr.word().raw() + 1), value);
+                self.do_store(c, addr, meta, StoreKind::Log)
+            }
+            Op::Flush { addr } => self.do_flush(c, addr),
+            Op::Fence => self.do_fence(c),
+            Op::PCommit => self.do_pcommit(c),
+        }
+    }
+
+    fn llc_bank(line: LineAddr) -> usize {
+        (line.raw() & 3) as usize
+    }
+
+    /// Takes a one-cycle slot on `line`'s LLC bank, returning the wait.
+    fn llc_port_take(&mut self, line: LineAddr, t: Cycle) -> Cycle {
+        let b = Self::llc_bank(line);
+        let wait = self.llc_port_free[b].saturating_sub(t);
+        self.llc_port_free[b] = self.llc_port_free[b].max(t) + 1;
+        wait
+    }
+
+    /// Holds `line`'s LLC bank for `dur` cycles (NVLLC commit bursts),
+    /// returning the wait before the hold could start.
+    fn llc_port_hold(&mut self, line: LineAddr, t: Cycle, dur: Cycle) -> Cycle {
+        let b = Self::llc_bank(line);
+        let wait = self.llc_port_free[b].saturating_sub(t);
+        self.llc_port_free[b] = self.llc_port_free[b].max(t) + dur;
+        wait
+    }
+
+    fn ctrl(&mut self, region: MemRegion) -> &mut MemController {
+        match region {
+            MemRegion::Nvm => &mut self.nvm,
+            MemRegion::Dram => &mut self.dram,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Loads
+    // ------------------------------------------------------------------
+
+    fn do_load(&mut self, c: usize, addr: Addr) {
+        let persistent = addr.is_persistent();
+        self.cores[c].stats.ops.inc();
+        self.cores[c].stats.loads.inc();
+
+        // Store-to-load forwarding.
+        if self.cores[c].sb.forward(addr).is_some() {
+            self.cores[c].charge(1, self.cfg.core.issue_width);
+            self.record_load_latency(c, 1, persistent);
+            self.cores[c].idx += 1;
+            return;
+        }
+
+        let line = addr.line();
+        let t = self.cores[c].time;
+        match self.hier.access(c, Access::load(line)) {
+            Err(_) => {
+                self.pin_blocked(c, line);
+            }
+            Ok(out) => {
+                self.route_evictions(out.evictions);
+                match out.hit {
+                    Some(Level::L1) => {
+                        let lat = self.lat_l1;
+                        self.finish_load(c, lat, persistent);
+                    }
+                    Some(Level::L2) => {
+                        let lat = self.lat_l1 + self.lat_l2;
+                        self.finish_load(c, lat, persistent);
+                    }
+                    Some(Level::Llc) => {
+                        let pre = self.lat_l1 + self.lat_l2;
+                        let wait = self.llc_port_take(line, t + pre);
+                        let lat = pre + wait + self.lat_llc;
+                        self.finish_load(c, lat, persistent);
+                    }
+                    None => {
+                        let pre = self.lat_l1 + self.lat_l2;
+                        let wait = self.llc_port_take(line, t + pre);
+                        let pre = pre + wait + self.lat_llc;
+                        // Under the TC scheme an LLC miss on a persistent
+                        // line probes the transaction cache *in parallel*
+                        // with the NVM request (§3); a hit serves the fill
+                        // at CAM latency without touching the NVM.
+                        if self.cfg.scheme == SchemeKind::TxCache && persistent {
+                            let hit = self.tcs.iter_mut().any(|tc| tc.probe(line).is_some());
+                            if hit {
+                                self.finish_load(c, pre + self.lat_tc, persistent);
+                                self.cores[c].pin_retries = 0;
+                                return;
+                            }
+                        }
+                        // Fill from memory.
+                        let arrival = t + pre;
+                        self.cores[c].begin_stall(StallKind::Load);
+                        self.cores[c].pending_load = Some((line, arrival, t, persistent));
+                        let region = line.region();
+                        if self.ctrl(region).can_accept(AccessKind::Read) {
+                            self.issue_load_fill(c, line, arrival);
+                        } else {
+                            let at = self.clock + 16;
+                            self.push_event(at, Event::CoreStep(c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_load_fill(&mut self, c: usize, line: LineAddr, arrival: Cycle) {
+        // Merge with an outstanding fill of the same line if one exists.
+        match self.mshr.allocate(line, c) {
+            Ok(true) => {} // primary miss: fetch below
+            Ok(false) => {
+                // Secondary miss: the primary's completion wakes us.
+                self.cores[c].load_inflight = true;
+                return;
+            }
+            Err(_) => {
+                // MSHR full: retry shortly.
+                let at = self.clock + 16;
+                self.push_event(at, Event::CoreStep(c));
+                return;
+            }
+        }
+        let id = self.req_id();
+        self.origins.insert(id, Origin::LoadFill { core: c });
+        let region = line.region();
+        let req = MemReq::read(id, line, Some(c));
+        self.ctrl(region)
+            .enqueue(req, arrival)
+            .expect("checked can_accept");
+        self.cores[c].load_inflight = true;
+        let wake = self.ctrl(region).next_wake().unwrap_or(arrival);
+        self.schedule_mem_poke(region, wake.max(self.clock));
+    }
+
+    fn finish_load(&mut self, c: usize, lat: Cycle, persistent: bool) {
+        self.cores[c].time += lat.max(1);
+        self.record_load_latency(c, lat, persistent);
+        self.cores[c].idx += 1;
+        self.cores[c].pin_retries = 0;
+    }
+
+    fn record_load_latency(&mut self, c: usize, lat: Cycle, persistent: bool) {
+        self.cores[c].stats.load_latency.record(lat);
+        if persistent {
+            self.cores[c].stats.persistent_load_latency.record(lat);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stores
+    // ------------------------------------------------------------------
+
+    fn do_store(&mut self, c: usize, addr: Addr, value: Word, kind: StoreKind) {
+        let persistent = addr.is_persistent();
+        let in_tx = self.cores[c].regs.in_tx();
+        let tx = self.cores[c].regs.current();
+        let tc_route =
+            self.cfg.scheme == SchemeKind::TxCache && persistent && in_tx && kind == StoreKind::Data;
+
+        // The transaction cache may need to stall *before* any other side
+        // effect so that the retried op is idempotent.
+        if tc_route && !self.cores[c].cow_active {
+            if self.tcs[c].overflow_triggered() {
+                self.overflow_to_cow(c, tx.expect("in tx"));
+            } else if self.tcs[c].is_full() {
+                self.cores[c].begin_stall(StallKind::TxCacheFull);
+                // An acknowledgment completion wakes the core.
+                let at = self.clock + 512;
+                self.push_event(at, Event::CoreStep(c));
+                return;
+            }
+        }
+
+        let line = addr.line();
+        // NVLLC tags transactional persistent stores so the hierarchy can
+        // pin them; the TC scheme needs no tagging (hierarchy unmodified).
+        let tag = if self.cfg.scheme == SchemeKind::NvLlc && persistent && in_tx {
+            tx
+        } else {
+            None
+        };
+        let mut acc = Access::store(line);
+        if let Some(t) = tag {
+            acc = acc.with_tx(t);
+        }
+        let outcome = match self.hier.access(c, acc) {
+            Err(_) => {
+                self.pin_blocked(c, line);
+                return;
+            }
+            Ok(out) => out,
+        };
+        self.cores[c].pin_retries = 0;
+        self.route_evictions(outcome.evictions);
+
+        // Functional: architectural memory state.
+        self.volatile.insert(addr.word(), value);
+
+        // Timing: the store retires into the store buffer and drains in
+        // the background; its drain cost depends on where it hit.
+        let t = self.cores[c].time;
+        let cost = match outcome.hit {
+            Some(Level::L1) => 1,
+            Some(Level::L2) => self.lat_l2,
+            Some(Level::Llc) => {
+                let w = self.llc_port_take(line, t);
+                self.lat_l2 + w + self.lat_llc
+            }
+            None => {
+                let w = self.llc_port_take(line, t);
+                let mut fill = self.lat_l2 + w + self.lat_llc;
+                let region = line.region();
+                if self.cfg.scheme == SchemeKind::TxCache
+                    && persistent
+                    && self.tcs.iter_mut().any(|tc| tc.probe(line).is_some())
+                {
+                    // The parallel TC probe serves the fill.
+                    fill += self.lat_tc;
+                } else {
+                    fill += self.ctrl(region).read_estimate();
+                }
+                fill
+            }
+        };
+        self.cores[c].drain_sb();
+        if !self.cores[c].sb.has_room() {
+            // Stall until the oldest entry drains.
+            let until = *self.cores[c].sb_times.front().expect("sb entries exist");
+            let t0 = self.cores[c].time;
+            self.cores[c]
+                .stats
+                .add_stall(StallKind::StoreBufferFull, until.saturating_sub(t0));
+            self.cores[c].time = self.cores[c].time.max(until);
+            self.cores[c].drain_sb();
+        }
+        let drain_at = self.cores[c].last_drain.max(self.cores[c].time) + cost;
+        self.cores[c].last_drain = drain_at;
+        self.cores[c].sb.push(PendingStore {
+            addr,
+            value,
+            kind,
+            tx,
+        });
+        self.cores[c].sb_times.push_back(drain_at);
+
+        // Scheme-specific persistent-store handling.
+        if tc_route {
+            if self.cores[c].cow_active {
+                self.cow_write(c, tx.expect("in tx"), addr.word(), value);
+            } else {
+                self.tcs[c]
+                    .insert(tx.expect("in tx"), addr.word(), value)
+                    .expect("fullness checked above");
+            }
+        }
+        if persistent && in_tx && kind == StoreKind::Data {
+            self.cores[c].tx_writes.push((addr.word(), value));
+            if self.cfg.scheme == SchemeKind::NvLlc && !self.cores[c].tx_lines.contains(&line) {
+                self.cores[c].tx_lines.push(line);
+            }
+        }
+
+        self.cores[c].charge(1, self.cfg.core.issue_width);
+        self.cores[c].stats.ops.inc();
+        self.cores[c].stats.stores.inc();
+        self.cores[c].idx += 1;
+    }
+
+    fn pin_blocked(&mut self, c: usize, line: LineAddr) {
+        self.cores[c].pin_retries += 1;
+        if self.cores[c].pin_retries > PIN_RETRY_LIMIT {
+            // Escape hatch: forcibly unpin the oldest uncommitted line in
+            // the set and persist it out of band (hardware COW).
+            if let Some(victim) = self.hier.force_unpin_for(line) {
+                let words = self.snapshot_volatile(victim);
+                self.post_write(
+                    victim,
+                    pmacc_types::WriteCause::Cow,
+                    Origin::Writeback {
+                        line: victim,
+                        words,
+                    },
+                );
+            }
+            self.cores[c].pin_retries = 0;
+        }
+        self.cores[c].begin_stall(StallKind::PinBlocked);
+        let at = self.clock.max(self.cores[c].time) + PIN_RETRY;
+        self.push_event(at, Event::CoreStep(c));
+    }
+
+    // ------------------------------------------------------------------
+    // Flush / fence (SP write-order control)
+    // ------------------------------------------------------------------
+
+    fn do_flush(&mut self, c: usize, addr: Addr) {
+        let line = addr.line();
+        self.cores[c].charge(1, self.cfg.core.issue_width);
+        self.cores[c].stats.ops.inc();
+        let dirty = self.hier.flush_line(c, line);
+        if dirty {
+            let words = self.snapshot_volatile(line);
+            self.cores[c].pending_flushes += 1;
+            self.post_write(
+                line,
+                pmacc_types::WriteCause::Flush,
+                Origin::FlushAck {
+                    core: c,
+                    words,
+                    line,
+                },
+            );
+        }
+        self.cores[c].idx += 1;
+    }
+
+    fn do_fence(&mut self, c: usize) {
+        self.cores[c].stats.ops.inc();
+        self.cores[c].charge(1, self.cfg.core.issue_width);
+        self.cores[c].idx += 1;
+        self.cores[c].begin_stall(StallKind::Fence);
+        self.try_finish_fence(c);
+    }
+
+    fn do_pcommit(&mut self, c: usize) {
+        self.cores[c].stats.ops.inc();
+        self.cores[c].charge(1, self.cfg.core.issue_width);
+        self.cores[c].idx += 1;
+        // Snapshot: wait for everything the controller has accepted so
+        // far (later arrivals from other cores are not our problem).
+        self.cores[c].pcommit = Some(self.nvm.writes_accepted());
+        self.cores[c].begin_stall(StallKind::Fence);
+        self.try_finish_fence(c);
+    }
+
+    fn try_finish_fence(&mut self, c: usize) {
+        let now = self.clock.max(self.cores[c].time);
+        // Store buffer must drain.
+        if let Some(&back) = self.cores[c].sb_times.back() {
+            if back > now {
+                self.push_event(back, Event::CoreStep(c));
+                return;
+            }
+        }
+        self.cores[c].time = now;
+        self.cores[c].drain_sb();
+        if self.cores[c].pending_flushes > 0 {
+            // A flush-ack completion re-runs this check.
+            return;
+        }
+        if let Some(target) = self.cores[c].pcommit {
+            // pcommit: every write the NVM controller had accepted — from
+            // any core — must be durable before execution continues.
+            if self.nvm.writes_durable() < target {
+                // Any NVM completion re-runs this check.
+                return;
+            }
+            self.cores[c].pcommit = None;
+        }
+        self.cores[c].end_stall(now);
+        self.push_event(now, Event::CoreStep(c));
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction end
+    // ------------------------------------------------------------------
+
+    fn do_txend(&mut self, c: usize) {
+        if self.cores[c].txend.is_none() {
+            let tx = self.cores[c].regs.end();
+            self.cores[c].txend = Some((tx, None));
+            match self.cfg.scheme {
+                SchemeKind::Optimal | SchemeKind::Sp => self.finish_txend(c),
+                SchemeKind::TxCache => {
+                    self.tcs[c].commit(tx);
+                    let at = self.clock.max(self.cores[c].time);
+                    self.schedule_tc_drain(c, at);
+                    if self.cores[c].cow_active {
+                        self.cores[c].begin_stall(StallKind::TxCacheFull);
+                        self.cores[c].txend = Some((tx, Some(TxEndPhase::WaitCowData)));
+                        self.try_resume_tc(c);
+                    } else {
+                        self.finish_txend(c);
+                    }
+                }
+                SchemeKind::NvLlc => {
+                    // Blocking commit flush: push the transaction's dirty
+                    // lines from L1/L2 into the nonvolatile LLC, occupying
+                    // the LLC write port (the §5.2 "bursts of traffic").
+                    let lines: Vec<LineAddr> = self.cores[c].tx_lines.clone();
+                    let t0 = self.cores[c].time;
+                    let mut t = t0;
+                    for line in lines {
+                        let moved = self.hier.demote_tx_line(c, line, tx);
+                        if moved {
+                            // Read the private copy (L2 latency) and
+                            // initiate the LLC write; the core moves on to
+                            // the next line while the STT-RAM write holds
+                            // the bank — that hold is what "blocks
+                            // subsequent cache and memory requests during
+                            // transaction commits" (§5.2).
+                            let w = self.llc_port_hold(line, t, self.lat_llc_write);
+                            t += w + self.lat_l2 + 1;
+                        }
+                        self.hier.unpin_line(line);
+                    }
+                    if t > t0 {
+                        self.cores[c].stats.add_stall(StallKind::CommitFlush, t - t0);
+                        self.cores[c].time = t;
+                    }
+                    // Functional: these values are now committed in the
+                    // nonvolatile LLC.
+                    for &(w, v) in &self.cores[c].tx_writes {
+                        self.nv_llc_committed.insert(w, v);
+                    }
+                    self.finish_txend(c);
+                }
+            }
+        } else if self.cores[c].blocked.is_none() {
+            self.finish_txend(c);
+        }
+    }
+
+    fn finish_txend(&mut self, c: usize) {
+        let (tx, _) = self.cores[c].txend.take().expect("txend in progress");
+        self.cores[c].tx_writes.clear();
+        self.cores[c].tx_lines.clear();
+        self.journal.push(TxRecord {
+            tx,
+            commit_cycle: self.cores[c].time,
+            writes: self.oracle_writes(c, tx),
+        });
+        self.cores[c].stats.tx_committed.inc();
+        self.cores[c].charge(1, self.cfg.core.issue_width);
+        self.cores[c].stats.ops.inc();
+        self.cores[c].idx += 1;
+        if !self.warmup_done
+            && self.run_cfg.warmup_commits > 0
+            && self.journal.len() as u64 >= self.run_cfg.warmup_commits
+        {
+            self.reset_measurement();
+        }
+    }
+
+    /// Ends the warm-up region: zeroes every statistic so the report
+    /// covers only steady-state execution. Cache/TC/queue *state* and the
+    /// recovery journal are untouched.
+    fn reset_measurement(&mut self) {
+        self.warmup_done = true;
+        self.measure_start = self.clock;
+        for core in &mut self.cores {
+            core.stats = CoreStats::new();
+        }
+        self.hier.stats = pmacc_cache::HierarchyStats::new(self.cfg.cores);
+        self.nvm.stats = pmacc_mem::MemStats::new();
+        self.dram.stats = pmacc_mem::MemStats::new();
+        for tc in &mut self.tcs {
+            tc.stats = crate::txcache::TcStats::default();
+        }
+        self.dropped_llc_writes = Counter::new();
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction-cache paths (drain, overflow COW)
+    // ------------------------------------------------------------------
+
+    fn handle_tc_drain(&mut self, c: usize) {
+        if self.tc_drain_at[c] != Some(self.clock) {
+            return; // stale or duplicate drain event
+        }
+        self.tc_drain_at[c] = None;
+        // §3: "different write requests of conflicted addresses are issued
+        // to the NVM in program order". An overflowed transaction's COW
+        // installs are earlier in program order than anything still in
+        // the FIFO, so drains wait until the installs are durable.
+        if self.cow_installs.keys().any(|(core, _)| *core == c) {
+            return; // the last install completion re-arms the drain
+        }
+        let mut issued = 0;
+        let budget = self.cfg.txcache.drain_per_cycle;
+        while issued < budget {
+            let Some((slot, entry)) = self.tcs[c].next_issue() else {
+                return;
+            };
+            if !self.nvm.can_accept(AccessKind::Write) {
+                // Retry after the queue drains a little.
+                let at = self.clock + 32;
+                self.schedule_tc_drain(c, at);
+                return;
+            }
+            let id = self.req_id();
+            self.origins.insert(
+                id,
+                Origin::TcAck {
+                    core: c,
+                    slot,
+                    line: entry.line,
+                    values: entry.values,
+                },
+            );
+            let req = MemReq::write(id, entry.line, Some(c), pmacc_types::WriteCause::TxCacheDrain)
+                .with_tx(entry.tx);
+            self.nvm.enqueue(req, self.clock).expect("checked can_accept");
+            self.tcs[c].mark_issued(slot);
+            issued += 1;
+        }
+        let wake = self.nvm.next_wake().unwrap_or(self.clock);
+        self.schedule_mem_poke(MemRegion::Nvm, wake.max(self.clock));
+        if self.tcs[c].next_issue().is_some() {
+            self.schedule_tc_drain(c, self.clock + 1);
+        }
+    }
+
+    fn try_resume_tc(&mut self, c: usize) {
+        // Two reasons to be TxCacheFull-blocked: a store waiting for a
+        // free entry, or a COW'd transaction waiting out its commit.
+        match self.cores[c].txend {
+            Some((tx, Some(TxEndPhase::WaitCowData))) => {
+                if self.cores[c].cow_pending == 0 {
+                    // All shadow data durable: persist the commit record.
+                    let id = self.req_id();
+                    self.origins.insert(id, Origin::CowRecord { core: c, tx });
+                    let line = layout::cow_area_base(c)
+                        .offset(self.cores[c].cow_cursor * WORD_BYTES)
+                        .line();
+                    self.cores[c].cow_cursor += 8;
+                    let req =
+                        MemReq::write(id, line, Some(c), pmacc_types::WriteCause::Cow).with_tx(tx);
+                    if self.nvm.enqueue(req, self.clock).is_err() {
+                        self.wb_pending.push(req);
+                    }
+                    let wake = self.nvm.next_wake().unwrap_or(self.clock);
+                    self.schedule_mem_poke(MemRegion::Nvm, wake.max(self.clock));
+                    self.cores[c].txend = Some((tx, Some(TxEndPhase::WaitCowRecord)));
+                }
+            }
+            Some((_, Some(TxEndPhase::WaitCowRecord))) => {
+                // Completion handler finishes the commit.
+            }
+            _ => {
+                // A store stalled on a full FIFO: resume when room exists.
+                if !self.tcs[c].is_full() {
+                    let now = self.clock.max(self.cores[c].time);
+                    self.cores[c].end_stall(now);
+                    self.push_event(now, Event::CoreStep(c));
+                }
+            }
+        }
+    }
+
+    fn overflow_to_cow(&mut self, c: usize, tx: TxId) {
+        self.tcs[c].stats.overflows.inc();
+        self.cores[c].cow_active = true;
+        // Migrate the transaction's buffered entries to the COW area.
+        let entries = self.tcs[c].entries_fifo();
+        let mut moved = Vec::new();
+        for e in entries {
+            if e.tx == tx && e.state == crate::txcache::EntryState::Active {
+                for (i, v) in e.values.iter().enumerate() {
+                    if let Some(v) = v {
+                        moved.push((e.line.word(i), *v));
+                    }
+                }
+            }
+        }
+        self.tcs[c].discard_active(tx);
+        for (w, v) in moved {
+            self.cow_write(c, tx, w, v);
+        }
+    }
+
+    fn cow_write(&mut self, c: usize, tx: TxId, word: WordAddr, value: Word) {
+        // Record the shadow copy in *issue* (program) order; NVM writes
+        // may complete out of order across banks, but the commit record is
+        // only written after every shadow ack, so a committed shadow is
+        // always fully durable and must replay in program order.
+        if let Some(last) = self.cow_shadow[c].last_mut().filter(|s| s.tx == tx && !s.committed)
+        {
+            last.records.push((word, value));
+        } else {
+            self.cow_shadow[c].push(CowTxShadow {
+                tx,
+                records: vec![(word, value)],
+                committed: false,
+            });
+        }
+        let id = self.req_id();
+        self.origins.insert(id, Origin::CowData { core: c });
+        let line = layout::cow_area_base(c)
+            .offset(self.cores[c].cow_cursor * WORD_BYTES)
+            .line();
+        self.cores[c].cow_cursor += 2;
+        self.cores[c].cow_pending += 1;
+        let req = MemReq::write(id, line, Some(c), pmacc_types::WriteCause::Cow).with_tx(tx);
+        if self.nvm.enqueue(req, self.clock.max(self.cores[c].time)).is_err() {
+            self.wb_pending.push(req);
+        }
+        let wake = self.nvm.next_wake().unwrap_or(self.clock);
+        self.schedule_mem_poke(MemRegion::Nvm, wake.max(self.clock));
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction routing and write-backs
+    // ------------------------------------------------------------------
+
+    fn snapshot_volatile(&self, line: LineAddr) -> [Word; WORDS_PER_LINE] {
+        let mut out = [0; WORDS_PER_LINE];
+        for (i, w) in line.words().enumerate() {
+            out[i] = self.volatile.get(&w).copied().unwrap_or(0);
+        }
+        out
+    }
+
+    fn snapshot_committed(&self, line: LineAddr) -> [Word; WORDS_PER_LINE] {
+        // NVLLC write-backs carry the *committed* version of the line.
+        let mut out = [0; WORDS_PER_LINE];
+        for (i, w) in line.words().enumerate() {
+            out[i] = self
+                .nv_llc_committed
+                .get(&w)
+                .copied()
+                .unwrap_or_else(|| self.nvm_backing.read_word(w));
+        }
+        out
+    }
+
+    fn route_evictions(&mut self, evictions: Vec<Eviction>) {
+        for ev in evictions {
+            if !ev.dirty {
+                continue;
+            }
+            let persistent = ev.line.is_persistent();
+            if persistent && self.cfg.scheme == SchemeKind::TxCache {
+                // §3: dirty persistent LLC evictions are simply dropped —
+                // the transaction cache is the only persistent path.
+                self.dropped_llc_writes.inc();
+                continue;
+            }
+            let words = if persistent && self.cfg.scheme == SchemeKind::NvLlc {
+                self.snapshot_committed(ev.line)
+            } else {
+                self.snapshot_volatile(ev.line)
+            };
+            self.post_write(
+                ev.line,
+                pmacc_types::WriteCause::Eviction,
+                Origin::Writeback { line: ev.line, words },
+            );
+        }
+    }
+
+    fn post_write(&mut self, line: LineAddr, cause: pmacc_types::WriteCause, origin: Origin) {
+        let id = self.req_id();
+        self.origins.insert(id, origin);
+        let req = MemReq::write(id, line, None, cause);
+        let region = line.region();
+        let arrival = self.clock;
+        if self.ctrl(region).enqueue(req, arrival).is_err() {
+            self.wb_pending.push(req);
+        }
+        let wake = self.ctrl(region).next_wake().unwrap_or(arrival);
+        self.schedule_mem_poke(region, wake.max(self.clock));
+    }
+
+    fn drain_wb_pending(&mut self) {
+        let mut remaining = Vec::new();
+        while let Some(req) = self.wb_pending.pop() {
+            let region = req.addr.region();
+            let now = self.clock;
+            if self.ctrl(region).enqueue(req, now).is_err() {
+                remaining.push(req);
+            }
+        }
+        for req in remaining {
+            self.wb_pending.push(req);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory completions
+    // ------------------------------------------------------------------
+
+    fn handle_mem_poke(&mut self, which: u8) {
+        let region = if which == 0 {
+            MemRegion::Nvm
+        } else {
+            MemRegion::Dram
+        };
+        // Only the event matching the dedup marker is live; duplicates
+        // (from markers being re-armed at earlier times) must die here,
+        // otherwise each one re-arms itself forever.
+        if self.mem_poke_at[which as usize] != Some(self.clock) {
+            return;
+        }
+        self.mem_poke_at[which as usize] = None;
+        let now = self.clock;
+        let completions: Vec<Completion> = self.ctrl(region).advance(now);
+        let had_completions = !completions.is_empty();
+        for comp in completions {
+            self.handle_completion(region, comp);
+        }
+        self.drain_wb_pending();
+        if region == MemRegion::Nvm && had_completions {
+            // pcommit waiters poll the controller's write backlog.
+            for c in 0..self.cores.len() {
+                if self.cores[c].blocked == Some(StallKind::Fence)
+                    && self.cores[c].pcommit.is_some()
+                {
+                    self.try_finish_fence(c);
+                }
+            }
+        }
+        if let Some(wake) = self.ctrl(region).next_wake() {
+            self.schedule_mem_poke(region, wake.max(self.clock + 1));
+        }
+    }
+
+    fn handle_completion(&mut self, region: MemRegion, comp: Completion) {
+        let Some(origin) = self.origins.remove(&comp.req.id) else {
+            return;
+        };
+        match origin {
+            Origin::LoadFill { core } => {
+                // Wake the primary and every merged waiter; each records
+                // latency from its own issue point.
+                let waiters = self
+                    .mshr
+                    .complete(comp.req.addr)
+                    .unwrap_or_else(|| vec![core]);
+                for w in waiters {
+                    let Some((_, _, started, persistent)) = self.cores[w].pending_load else {
+                        continue;
+                    };
+                    let lat = comp.done_at.saturating_sub(started).max(1);
+                    self.record_load_latency(w, lat, persistent);
+                    let c = &mut self.cores[w];
+                    if let Some(StallKind::Load) = c.blocked {
+                        c.blocked = None;
+                        c.stats
+                            .add_stall(StallKind::Load, comp.done_at.saturating_sub(c.stall_started));
+                    }
+                    c.pending_load = None;
+                    c.load_inflight = false;
+                    c.time = c.time.max(comp.done_at);
+                    c.idx += 1;
+                    let at = c.time;
+                    self.push_event(at, Event::CoreStep(w));
+                }
+            }
+            Origin::Writeback { line, words } => {
+                self.apply_line(region, line, &words);
+            }
+            Origin::FlushAck { core, words, line } => {
+                self.apply_line(region, line, &words);
+                self.cores[core].pending_flushes -= 1;
+                if self.cores[core].blocked == Some(StallKind::Fence) {
+                    self.cores[core].time = self.cores[core].time.max(comp.done_at);
+                    self.try_finish_fence(core);
+                }
+            }
+            Origin::TcAck {
+                core,
+                slot,
+                line,
+                values,
+            } => {
+                for (i, v) in values.iter().enumerate() {
+                    if let Some(v) = v {
+                        self.nvm_backing.write_word(line.word(i), *v);
+                    }
+                }
+                self.tcs[core].ack_slot(slot);
+                self.schedule_tc_drain(core, self.clock);
+                if self.cores[core].blocked == Some(StallKind::TxCacheFull) {
+                    self.try_resume_tc(core);
+                }
+            }
+            Origin::CowData { core } => {
+                // The shadow copy (already recorded at issue, in program
+                // order) is durable now.
+                self.cores[core].cow_pending -= 1;
+                if self.cores[core].blocked == Some(StallKind::TxCacheFull) {
+                    self.cores[core].time = self.cores[core].time.max(comp.done_at);
+                    self.try_resume_tc(core);
+                }
+            }
+            Origin::CowRecord { core, tx } => {
+                if let Some(s) = self.cow_shadow[core]
+                    .iter_mut()
+                    .rev()
+                    .find(|s| s.tx == tx)
+                {
+                    s.committed = true;
+                }
+                // Install the shadow copies in their home locations; the
+                // shadow is truncated once every install is durable.
+                let records: Vec<(WordAddr, Word)> = self
+                    .cow_shadow[core]
+                    .iter()
+                    .rev()
+                    .find(|s| s.tx == tx)
+                    .map(|s| s.records.clone())
+                    .unwrap_or_default();
+                if records.is_empty() {
+                    self.cow_shadow[core].retain(|s| s.tx != tx);
+                } else {
+                    self.cow_installs.insert((core, tx), records.len());
+                }
+                for (w, v) in records {
+                    let id = self.req_id();
+                    self.origins.insert(
+                        id,
+                        Origin::CowInstall {
+                            core,
+                            tx,
+                            word: w,
+                            value: v,
+                        },
+                    );
+                    let req =
+                        MemReq::write(id, w.line(), Some(core), pmacc_types::WriteCause::Cow);
+                    if self.nvm.enqueue(req, self.clock).is_err() {
+                        self.wb_pending.push(req);
+                    }
+                }
+                let wake = self.nvm.next_wake().unwrap_or(self.clock);
+                self.schedule_mem_poke(MemRegion::Nvm, wake.max(self.clock));
+                // The overflowed transaction is durable; finish TX_END.
+                self.cores[core].cow_active = false;
+                self.cores[core].time = self.cores[core].time.max(comp.done_at);
+                self.cores[core].end_stall(comp.done_at);
+                self.finish_txend(core);
+                let at = self.cores[core].time;
+                self.push_event(at, Event::CoreStep(core));
+            }
+            Origin::CowInstall {
+                core,
+                tx,
+                word,
+                value,
+            } => {
+                self.nvm_backing.write_word(word, value);
+                if let Some(n) = self.cow_installs.get_mut(&(core, tx)) {
+                    *n -= 1;
+                    if *n == 0 {
+                        // Every home copy is durable: free the COW area
+                        // and release the core's drain barrier.
+                        self.cow_installs.remove(&(core, tx));
+                        self.cow_shadow[core].retain(|s| s.tx != tx);
+                        self.schedule_tc_drain(core, self.clock);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_line(&mut self, region: MemRegion, line: LineAddr, words: &[Word; WORDS_PER_LINE]) {
+        let backing = match region {
+            MemRegion::Nvm => &mut self.nvm_backing,
+            MemRegion::Dram => &mut self.dram_backing,
+        };
+        backing.write_line(line, words);
+    }
+}
+
+/// Per-transaction persistent data writes of a trace, indexed by serial.
+fn tx_writes_of(trace: &Trace) -> Vec<Vec<(WordAddr, Word)>> {
+    let mut out = Vec::new();
+    let mut current: Option<Vec<(WordAddr, Word)>> = None;
+    for op in trace.ops() {
+        match *op {
+            Op::TxBegin => current = Some(Vec::new()),
+            Op::TxEnd => out.push(current.take().unwrap_or_default()),
+            Op::Store { addr, value } if addr.is_persistent() => {
+                if let Some(cur) = current.as_mut() {
+                    cur.push((addr.word(), value));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Shifts a trace's heap addresses into `core`'s private 1 GiB slice —
+/// the transformation [`System::for_workload`] applies so per-core
+/// workload instances stay disjoint. Public for harnesses that need to
+/// pre-instrument traces (e.g. the SP-fencing ablation).
+#[must_use]
+pub fn stride_trace(trace: &Trace, core: usize) -> Trace {
+    trace
+        .ops()
+        .iter()
+        .map(|op| match *op {
+            Op::Load { addr } => Op::Load {
+                addr: stride_addr(addr, core),
+            },
+            Op::Store { addr, value } => Op::Store {
+                addr: stride_addr(addr, core),
+                value,
+            },
+            Op::LogStore { addr, meta, value } => Op::LogStore {
+                addr: stride_addr(addr, core),
+                meta,
+                value,
+            },
+            Op::Flush { addr } => Op::Flush {
+                addr: stride_addr(addr, core),
+            },
+            other => other,
+        })
+        .collect()
+}
+
+fn stride_addr(addr: Addr, core: usize) -> Addr {
+    let raw = addr.raw();
+    let volatile_heap = layout::volatile_heap_base().raw();
+    let nvm = Addr::nvm_base().raw();
+    let persistent_heap = layout::persistent_heap_base().raw();
+    // Only heap addresses stripe; the per-core log/COW scratch areas
+    // (between the NVM base and the persistent heap) are already private.
+    let in_volatile_heap = (volatile_heap..nvm).contains(&raw);
+    let in_persistent_heap = raw >= persistent_heap;
+    if in_volatile_heap || in_persistent_heap {
+        Addr::new(raw + core as u64 * CORE_STRIDE)
+    } else {
+        addr
+    }
+}
+
+/// Word-address counterpart of [`stride_trace`], for initial images.
+#[must_use]
+pub fn stride_word(w: WordAddr, core: usize) -> WordAddr {
+    stride_addr(w.to_addr(), core).word()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striding_keeps_cores_disjoint_and_leaves_scratch_areas() {
+        let heap = layout::persistent_heap_base();
+        // Heap addresses shift by one stride per core.
+        assert_eq!(stride_addr(heap, 0), heap);
+        assert_eq!(stride_addr(heap, 2).raw(), heap.raw() + 2 * CORE_STRIDE);
+        // Log/COW areas are already per-core and must not shift.
+        let log = layout::log_area_base(1);
+        assert_eq!(stride_addr(log, 3), log);
+        // Volatile heap shifts too.
+        let vol = layout::volatile_heap_base();
+        assert_eq!(stride_addr(vol, 1).raw(), vol.raw() + CORE_STRIDE);
+        // Word form agrees with the byte form.
+        assert_eq!(
+            stride_word(heap.word(), 2).to_addr(),
+            stride_addr(heap, 2)
+        );
+    }
+
+    #[test]
+    fn stride_trace_rewrites_every_memory_op() {
+        let heap = layout::persistent_heap_base();
+        let t: Trace = [
+            Op::load(heap),
+            Op::store(heap.offset(64), 5),
+            Op::Flush { addr: heap },
+            Op::Compute(2),
+            Op::TxBegin,
+            Op::TxEnd,
+        ]
+        .into_iter()
+        .collect();
+        let s = stride_trace(&t, 1);
+        match s.get(0).unwrap() {
+            Op::Load { addr } => assert_eq!(addr.raw(), heap.raw() + CORE_STRIDE),
+            other => panic!("unexpected {other}"),
+        }
+        match s.get(1).unwrap() {
+            Op::Store { addr, value } => {
+                assert_eq!(addr.raw(), heap.raw() + 64 + CORE_STRIDE);
+                assert_eq!(value, 5);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(s.get(3).unwrap(), Op::Compute(2));
+    }
+
+    #[test]
+    fn tx_writes_table_matches_trace() {
+        let heap = layout::persistent_heap_base();
+        let t: Trace = [
+            Op::TxBegin,
+            Op::store(heap, 1),
+            Op::store(Addr::new(64), 2), // volatile: not in the table
+            Op::TxEnd,
+            Op::TxBegin,
+            Op::TxEnd,
+            Op::TxBegin,
+            Op::store(heap.offset(8), 3),
+            Op::TxEnd,
+        ]
+        .into_iter()
+        .collect();
+        let table = tx_writes_of(&t);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table[0], vec![(heap.word(), 1)]);
+        assert!(table[1].is_empty());
+        assert_eq!(table[2], vec![(heap.offset(8).word(), 3)]);
+    }
+
+    fn tiny_machine(scheme: SchemeKind) -> MachineConfig {
+        MachineConfig::small().with_scheme(scheme)
+    }
+
+    fn simple_trace() -> Trace {
+        let mut t = Trace::new();
+        let base = layout::persistent_heap_base();
+        for i in 0..20u64 {
+            t.push(Op::TxBegin);
+            t.push(Op::Compute(2));
+            t.push(Op::store(base.offset(i * 64), i + 1));
+            t.push(Op::load(base.offset(i * 64)));
+            t.push(Op::TxEnd);
+        }
+        t
+    }
+
+    fn run_simple(scheme: SchemeKind) -> (RunReport, System) {
+        let cfg = tiny_machine(scheme);
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        let report = sys.run().unwrap();
+        (report, sys)
+    }
+
+    #[test]
+    fn all_schemes_run_to_completion() {
+        for scheme in SchemeKind::all() {
+            let (report, _) = run_simple(scheme);
+            assert_eq!(report.total_committed(), 40, "{scheme}: 20 tx x 2 cores");
+            assert!(report.cycles > 0);
+            assert!(report.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn optimal_is_fastest() {
+        let (opt, _) = run_simple(SchemeKind::Optimal);
+        let (sp, _) = run_simple(SchemeKind::Sp);
+        let (tc, _) = run_simple(SchemeKind::TxCache);
+        assert!(sp.cycles > opt.cycles, "SP must be slower than Optimal");
+        assert!(
+            tc.cycles <= sp.cycles,
+            "TC must not be slower than software logging"
+        );
+    }
+
+    #[test]
+    fn tc_scheme_persists_through_the_side_path() {
+        let (report, sys) = run_simple(SchemeKind::TxCache);
+        assert!(
+            report.nvm.writes_with_cause(pmacc_types::WriteCause::TxCacheDrain) > 0,
+            "committed entries drain to NVM"
+        );
+        // After quiescing, all committed values are durable.
+        let base = layout::persistent_heap_base();
+        for i in 0..20u64 {
+            assert_eq!(
+                sys.nvm_backing.read_word(base.offset(i * 64).word()),
+                i + 1,
+                "core-0 store {i} durable"
+            );
+        }
+    }
+
+    #[test]
+    fn sp_scheme_writes_log_traffic() {
+        let (report, _) = run_simple(SchemeKind::Sp);
+        assert!(report.nvm.writes_with_cause(pmacc_types::WriteCause::Flush) > 0);
+        assert!(
+            report.nvm.writes() > 20,
+            "log + data flushes generate NVM writes"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (a, _) = run_simple(SchemeKind::TxCache);
+        let (b, _) = run_simple(SchemeKind::TxCache);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.nvm.writes(), b.nvm.writes());
+    }
+
+    #[test]
+    fn workload_system_runs() {
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let mut sys = System::for_workload(
+            cfg,
+            WorkloadKind::Sps,
+            &WorkloadParams::tiny(1),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let report = sys.run().unwrap();
+        assert_eq!(report.total_committed(), 100, "50 swaps x 2 cores");
+    }
+
+    #[test]
+    fn fence_waits_for_flush_acks() {
+        // store -> clwb -> sfence: the fence cannot retire before the NVM
+        // write round-trips (76 ns = 152 cycles at 2 GHz, plus queueing).
+        let base = layout::persistent_heap_base();
+        let mut with_fence = Trace::new();
+        with_fence.push(Op::store(base, 1));
+        with_fence.push(Op::Flush { addr: base });
+        with_fence.push(Op::Fence);
+        let mut without = Trace::new();
+        without.push(Op::store(base, 1));
+
+        let run = |t: Trace| {
+            let mut cfg = tiny_machine(SchemeKind::Optimal);
+            cfg.cores = 1;
+            let mut sys = System::new(cfg, vec![t], &[], &RunConfig::default()).unwrap();
+            sys.run().unwrap().cycles
+        };
+        let fenced = run(with_fence);
+        let unfenced = run(without);
+        assert!(
+            fenced >= unfenced + 152,
+            "fence must wait out the NVM write ({fenced} vs {unfenced})"
+        );
+    }
+
+    #[test]
+    fn pcommit_waits_out_prior_writes() {
+        let base = layout::persistent_heap_base();
+        let mut t = Trace::new();
+        // Ten flushed lines, then a pcommit: it must wait for all of them.
+        for i in 0..10u64 {
+            t.push(Op::store(base.offset(i * 64), i));
+            t.push(Op::Flush {
+                addr: base.offset(i * 64),
+            });
+        }
+        t.push(Op::PCommit);
+        let mut cfg = tiny_machine(SchemeKind::Optimal);
+        cfg.cores = 1;
+        let mut sys = System::new(cfg, vec![t], &[], &RunConfig::default()).unwrap();
+        let r = sys.run().unwrap();
+        assert!(r.cycles >= 152, "pcommit waited for the writes");
+        assert_eq!(r.nvm.writes() , 10);
+    }
+
+    #[test]
+    fn tiny_write_queue_backpressure_does_not_deadlock() {
+        let mut cfg = tiny_machine(SchemeKind::TxCache);
+        cfg.nvm.write_queue = 2;
+        cfg.nvm.drain_low = 0.4;
+        cfg.nvm.drain_high = 0.9;
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        let report = sys.run().unwrap();
+        assert_eq!(report.total_committed(), 40);
+    }
+
+    #[test]
+    fn nvllc_pin_pressure_does_not_deadlock() {
+        // A 1-way-ish tiny LLC with transactional stores hammering one
+        // set forces the pin-blocked path and its escape hatch.
+        let mut cfg = tiny_machine(SchemeKind::NvLlc);
+        cfg.cores = 1;
+        cfg.llc = pmacc_types::CacheConfig::new(2 * 64 * 2, 2, 10.0); // 2 sets x 2 ways
+        cfg.l1 = pmacc_types::CacheConfig::new(2 * 64 * 2, 2, 0.5);
+        cfg.l2 = pmacc_types::CacheConfig::new(2 * 64 * 2, 2, 4.5);
+        let base = layout::persistent_heap_base();
+        let mut t = Trace::new();
+        for tx in 0..10u64 {
+            t.push(Op::TxBegin);
+            for i in 0..6u64 {
+                // Same LLC set (stride 2 lines), more lines than ways.
+                t.push(Op::store(base.offset((tx * 6 + i) * 2 * 64), i));
+            }
+            t.push(Op::TxEnd);
+        }
+        let mut sys = System::new(cfg, vec![t], &[], &RunConfig::default()).unwrap();
+        let report = sys.run().unwrap();
+        assert_eq!(report.total_committed(), 10);
+    }
+
+    #[test]
+    fn workload_mix_runs_heterogeneous_cores() {
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let mut sys = System::for_workload_mix(
+            cfg,
+            &[WorkloadKind::Sps, WorkloadKind::Hashtable],
+            &WorkloadParams::tiny(9),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let r = sys.run().unwrap();
+        assert_eq!(r.total_committed(), 100);
+        // The two cores executed different op counts (different kinds).
+        assert_ne!(r.cores[0].ops.value(), r.cores[1].ops.value());
+    }
+
+    #[test]
+    fn mix_rejects_wrong_arity() {
+        let cfg = tiny_machine(SchemeKind::Optimal);
+        assert!(System::for_workload_mix(
+            cfg,
+            &[WorkloadKind::Sps],
+            &WorkloadParams::tiny(1),
+            &RunConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn volatile_traffic_routes_to_dram() {
+        // Volatile stores never touch the NVM channel; their evictions
+        // and fills go to DRAM.
+        let vol = layout::volatile_heap_base();
+        let mut t = Trace::new();
+        // Enough conflicting lines to force LLC evictions on the small
+        // machine (64 KB LLC, 16-way, 64 sets: stride 64 lines).
+        for i in 0..200u64 {
+            t.push(Op::store(vol.offset(i * 64 * 64), i));
+        }
+        let mut cfg = tiny_machine(SchemeKind::Optimal);
+        cfg.cores = 1;
+        let mut sys = System::new(cfg, vec![t], &[], &RunConfig::default()).unwrap();
+        let r = sys.run().unwrap();
+        assert_eq!(r.nvm.writes(), 0, "no NVM traffic from volatile data");
+        assert_eq!(r.nvm.reads.value(), 0);
+        assert!(r.dram.writes() > 0, "evictions reach the DRAM channel");
+        assert_eq!(r.residual_nvm_lines, 0);
+    }
+
+    #[test]
+    fn warmup_excludes_cold_misses_from_stats() {
+        // A loop over a small set of lines: cold misses on the first
+        // pass, warm afterwards. Measuring after warm-up must show a far
+        // lower LLC miss rate and fewer counted transactions.
+        let base = layout::persistent_heap_base();
+        let mut t = Trace::new();
+        for round in 0..10u64 {
+            t.push(Op::TxBegin);
+            for i in 0..32u64 {
+                t.push(Op::load(base.offset(i * 64)));
+            }
+            t.push(Op::store(base.offset(round * 64), round));
+            t.push(Op::TxEnd);
+        }
+        let mut cfg = tiny_machine(SchemeKind::TxCache);
+        cfg.cores = 1;
+        let run = |warmup: u64| {
+            let rc = RunConfig {
+                warmup_commits: warmup,
+                ..RunConfig::default()
+            };
+            let mut sys = System::new(cfg.clone(), vec![t.clone()], &[], &rc).unwrap();
+            sys.run().unwrap()
+        };
+        let cold = run(0);
+        let warm = run(2);
+        assert_eq!(cold.total_committed(), 10);
+        assert_eq!(warm.total_committed(), 8, "warm-up txs excluded");
+        assert!(warm.cycles < cold.cycles);
+        assert!(
+            warm.llc_miss_rate() < cold.llc_miss_rate(),
+            "warmed miss rate {} must be below cold {}",
+            warm.llc_miss_rate(),
+            cold.llc_miss_rate()
+        );
+        // Crash consistency still covers the whole run.
+        let rc = RunConfig {
+            warmup_commits: 2,
+            ..RunConfig::default()
+        };
+        let mut sys = System::new(cfg.clone(), vec![t.clone()], &[], &rc).unwrap();
+        sys.run().unwrap();
+        assert_eq!(sys.journal().len(), 10, "journal never resets");
+    }
+
+    #[test]
+    fn crash_state_snapshots_durable_state() {
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        sys.run_until(500).unwrap();
+        let state = sys.crash_state();
+        assert!(state.cycle <= 500);
+        assert_eq!(state.txcaches.len(), 2);
+    }
+}

@@ -1,0 +1,664 @@
+//! The nonvolatile transaction cache (§4.1): a content-addressable FIFO.
+//!
+//! Entries live in a circular buffer between `tail` (oldest) and `head`
+//! (next insert slot) and move through three states, exactly as Figure 4
+//! describes:
+//!
+//! * **available** — free slot;
+//! * **active** — buffered store of an in-flight transaction (inserted at
+//!   the head);
+//! * **committed** — the transaction's `TX_END` arrived; the entry is
+//!   issued toward the NVM in FIFO (= program) order and freed when the
+//!   NVM controller's acknowledgment message comes back.
+//!
+//! CAM operations: *commit* matches all entries with a TxID; an
+//! *acknowledgment* matches the entry nearest the tail holding the acked
+//! line; a *miss probe* from the LLC matches the entry nearest the head
+//! (the newest version). The data array is STT-RAM, so the whole structure
+//! — including state bits — survives a crash; recovery replays committed
+//! entries and discards active ones.
+
+use pmacc_types::{Counter, LineAddr, TxCacheConfig, TxId, Word, WordAddr, WORDS_PER_LINE};
+
+/// State of one transaction-cache entry (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntryState {
+    /// Free slot.
+    #[default]
+    Available,
+    /// Buffered store of an uncommitted transaction.
+    Active,
+    /// Committed; to be written back to NVM in FIFO order.
+    Committed,
+}
+
+/// One transaction-cache entry: a line tag plus the buffered word values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcEntry {
+    /// Entry state.
+    pub state: EntryState,
+    /// Owning transaction (meaningful unless available).
+    pub tx: TxId,
+    /// Tagged cache line.
+    pub line: LineAddr,
+    /// Buffered 64-bit values within the line (`None` = not written).
+    pub values: [Option<Word>; WORDS_PER_LINE],
+    /// Whether the entry has been issued toward the NVM controller.
+    pub issued: bool,
+}
+
+impl TcEntry {
+    fn empty() -> Self {
+        TcEntry {
+            state: EntryState::Available,
+            tx: TxId::new(0, 0),
+            line: LineAddr::new(0),
+            values: [None; WORDS_PER_LINE],
+            issued: false,
+        }
+    }
+}
+
+/// Counters for one transaction cache.
+#[derive(Debug, Clone, Default)]
+pub struct TcStats {
+    /// Entries inserted (buffered stores).
+    pub inserts: Counter,
+    /// Inserts absorbed by within-transaction coalescing (ablation D).
+    pub coalesced: Counter,
+    /// Commit requests served.
+    pub commits: Counter,
+    /// Acknowledgment messages served.
+    pub acks: Counter,
+    /// Miss probes from the LLC that hit.
+    pub probe_hits: Counter,
+    /// Miss probes from the LLC that missed.
+    pub probe_misses: Counter,
+    /// Insert attempts rejected because the FIFO was full.
+    pub full_rejections: Counter,
+    /// Transactions diverted to the copy-on-write fall-back path.
+    pub overflows: Counter,
+    /// Highest occupancy observed.
+    pub high_water: Counter,
+}
+
+/// The insert failed because every entry is in use; the caller stalls
+/// until an acknowledgment frees the tail (or overflows to the COW path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcFullError;
+
+impl core::fmt::Display for TcFullError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("transaction cache full")
+    }
+}
+
+impl std::error::Error for TcFullError {}
+
+/// One core's nonvolatile transaction cache.
+///
+/// # Example
+///
+/// The full lifecycle of one transaction (Figure 4's state machine):
+///
+/// ```
+/// use pmacc::{EntryState, TxCache};
+/// use pmacc_types::{Addr, TxCacheConfig, TxId};
+///
+/// let mut tc = TxCache::new(&TxCacheConfig::dac17());
+/// let tx = TxId::new(0, 0);
+///
+/// // CPU sends the transaction's stores (head inserts, active state).
+/// tc.insert(tx, Addr::nvm_base().word(), 42).expect("room");
+/// assert_eq!(tc.active_entries(), 1);
+///
+/// // TX_END: a commit request flips them to committed via a CAM match.
+/// assert_eq!(tc.commit(tx), 1);
+///
+/// // The FIFO issues committed entries toward the NVM in program order…
+/// let (slot, entry) = tc.next_issue().expect("committed entry");
+/// assert_eq!(entry.state, EntryState::Committed);
+/// tc.mark_issued(slot);
+///
+/// // …and the NVM controller's acknowledgment frees the entry.
+/// tc.ack_slot(slot);
+/// assert_eq!(tc.occupancy(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxCache {
+    entries: Vec<TcEntry>,
+    /// Next insert slot.
+    head: usize,
+    /// Oldest in-use slot.
+    tail: usize,
+    /// Next slot to consider issuing toward the NVM.
+    issue_ptr: usize,
+    /// In-use (non-available) entries.
+    len: usize,
+    /// In-use entries still in the active state.
+    active_len: usize,
+    coalesce: bool,
+    overflow_entries: usize,
+    /// Statistics.
+    pub stats: TcStats,
+}
+
+impl TxCache {
+    /// Builds the cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (validate it first).
+    #[must_use]
+    pub fn new(cfg: &TxCacheConfig) -> Self {
+        cfg.validate().expect("valid transaction-cache configuration");
+        TxCache {
+            entries: vec![TcEntry::empty(); cfg.entries()],
+            head: 0,
+            tail: 0,
+            issue_ptr: 0,
+            len: 0,
+            active_len: 0,
+            coalesce: cfg.coalesce,
+            overflow_entries: cfg.overflow_entries(),
+            stats: TcStats::default(),
+        }
+    }
+
+    /// Total entry slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// In-use entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.len
+    }
+
+    /// In-use entries still active (uncommitted).
+    #[must_use]
+    pub fn active_entries(&self) -> usize {
+        self.active_len
+    }
+
+    /// Slots inside the `[tail, head)` window, including holes left by
+    /// out-of-order acknowledgments (a hole is only reusable once the tail
+    /// advances past it, as in any hardware FIFO).
+    fn window_len(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else if self.tail < self.head {
+            self.head - self.tail
+        } else {
+            self.entries.len() - self.tail + self.head
+        }
+    }
+
+    /// Whether the FIFO has no insertable slot (the window spans the whole
+    /// ring, even if out-of-order acknowledgments left holes inside it).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.window_len() == self.entries.len()
+    }
+
+    /// Whether the running transaction has filled the cache to the
+    /// overflow threshold with uncommitted entries — the §4.1 condition
+    /// for diverting it to the hardware copy-on-write fall-back path.
+    #[must_use]
+    pub fn overflow_triggered(&self) -> bool {
+        self.active_len >= self.overflow_entries
+    }
+
+    fn step(&self, i: usize) -> usize {
+        (i + 1) % self.entries.len()
+    }
+
+    /// Slot indices currently inside the `[tail, head)` window, oldest
+    /// first. Handles the completely-full ring (`tail == head`, `len > 0`)
+    /// and windows containing freed holes.
+    fn window_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        let cap = self.entries.len();
+        let n = if self.len == 0 {
+            0
+        } else if self.tail < self.head {
+            self.head - self.tail
+        } else {
+            cap - self.tail + self.head
+        };
+        let tail = self.tail;
+        (0..n).map(move |k| (tail + k) % cap)
+    }
+
+    /// Buffers one 64-bit store of transaction `tx`.
+    ///
+    /// With coalescing enabled (ablation D), a second store to the same
+    /// line by the same active transaction merges into the existing entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcFullError`] when no slot is free; the core stalls until
+    /// an acknowledgment frees the tail.
+    pub fn insert(&mut self, tx: TxId, word: WordAddr, value: Word) -> Result<(), TcFullError> {
+        if self.coalesce {
+            // CAM search newest-first among this tx's active entries.
+            let mut i = self.head;
+            for _ in 0..self.len {
+                i = if i == 0 { self.entries.len() - 1 } else { i - 1 };
+                let e = &mut self.entries[i];
+                if e.state != EntryState::Active || e.tx != tx {
+                    break; // older transactions follow; stop at boundary
+                }
+                if e.line == word.line() {
+                    e.values[word.index_in_line()] = Some(value);
+                    self.stats.coalesced.inc();
+                    return Ok(());
+                }
+            }
+        }
+        if self.is_full() {
+            self.stats.full_rejections.inc();
+            return Err(TcFullError);
+        }
+        let slot = self.head;
+        debug_assert_eq!(self.entries[slot].state, EntryState::Available);
+        let mut values = [None; WORDS_PER_LINE];
+        values[word.index_in_line()] = Some(value);
+        self.entries[slot] = TcEntry {
+            state: EntryState::Active,
+            tx,
+            line: word.line(),
+            values,
+            issued: false,
+        };
+        self.head = self.step(slot);
+        self.len += 1;
+        self.active_len += 1;
+        self.stats.inserts.inc();
+        if self.len as u64 > self.stats.high_water.value() {
+            self.stats.high_water = Counter::new();
+            self.stats.high_water.add(self.len as u64);
+        }
+        Ok(())
+    }
+
+    /// Serves a commit request: every active entry of `tx` becomes
+    /// committed (single CAM operation). Returns how many entries matched.
+    pub fn commit(&mut self, tx: TxId) -> usize {
+        let mut n = 0;
+        let idxs: Vec<usize> = self.window_indices().collect();
+        for i in idxs {
+            let e = &mut self.entries[i];
+            if e.state == EntryState::Active && e.tx == tx {
+                e.state = EntryState::Committed;
+                n += 1;
+            }
+        }
+        self.active_len -= n;
+        self.stats.commits.inc();
+        n
+    }
+
+    /// Discards every active entry of `tx` (used when a transaction falls
+    /// back to the copy-on-write path after overflowing, so its partial
+    /// buffered state does not replay at recovery).
+    pub fn discard_active(&mut self, tx: TxId) -> usize {
+        let mut n = 0;
+        let idxs: Vec<usize> = self.window_indices().collect();
+        for i in idxs {
+            let e = &mut self.entries[i];
+            if e.state == EntryState::Active && e.tx == tx {
+                e.state = EntryState::Available;
+                n += 1;
+            }
+        }
+        self.active_len -= n;
+        self.len -= n;
+        self.compact_tail();
+        n
+    }
+
+    /// The next committed entry to issue toward the NVM, in FIFO order, or
+    /// `None` if the entry at the issue pointer is not ready. Returns the
+    /// slot index to pass to [`TxCache::mark_issued`].
+    #[must_use]
+    pub fn next_issue(&self) -> Option<(usize, TcEntry)> {
+        // Walk the window from the issue pointer onward, skipping entries
+        // already issued or freed; stop at the first active entry (FIFO
+        // order must not overtake an uncommitted older transaction).
+        let mut saw_ptr = false;
+        for i in self.window_indices() {
+            if i == self.issue_ptr {
+                saw_ptr = true;
+            }
+            if !saw_ptr {
+                continue;
+            }
+            let e = &self.entries[i];
+            match e.state {
+                EntryState::Committed if !e.issued => return Some((i, *e)),
+                EntryState::Active => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Marks slot `idx` as issued toward the NVM and advances the issue
+    /// pointer past it.
+    pub fn mark_issued(&mut self, idx: usize) {
+        debug_assert_eq!(self.entries[idx].state, EntryState::Committed);
+        self.entries[idx].issued = true;
+        self.issue_ptr = self.step(idx);
+    }
+
+    /// Serves an acknowledgment for slot `idx` (the simulator routes acks
+    /// by request identity; [`TxCache::ack_line`] provides the paper's
+    /// nearest-tail CAM form).
+    pub fn ack_slot(&mut self, idx: usize) {
+        let e = &mut self.entries[idx];
+        debug_assert!(e.issued && e.state == EntryState::Committed);
+        e.state = EntryState::Available;
+        e.issued = false;
+        self.len -= 1;
+        self.stats.acks.inc();
+        self.compact_tail();
+    }
+
+    /// Serves an acknowledgment message by line address: the matching
+    /// issued entry *nearest the tail* becomes available (§4.1). Returns
+    /// the freed slot, or `None` when no issued entry holds the line.
+    pub fn ack_line(&mut self, line: LineAddr) -> Option<usize> {
+        let idxs: Vec<usize> = self.window_indices().collect();
+        for i in idxs {
+            let e = &self.entries[i];
+            if e.state == EntryState::Committed && e.issued && e.line == line {
+                self.ack_slot(i);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn compact_tail(&mut self) {
+        // "At each time receiving the acknowledgment message, we check if
+        // the cache line entry pointed by the tail is changed into the
+        // available state" — advance over freed entries. The loop is
+        // bounded by the window span so it also works on a full ring
+        // (tail == head).
+        let mut remaining = self.window_len();
+        while remaining > 0 && self.entries[self.tail].state == EntryState::Available {
+            self.tail = self.step(self.tail);
+            remaining -= 1;
+        }
+        if self.len == 0 {
+            // Empty ring: normalize pointers.
+            self.tail = self.head;
+            self.issue_ptr = self.head;
+        } else if !self.in_window(self.issue_ptr) {
+            self.issue_ptr = self.tail;
+        }
+    }
+
+    fn in_window(&self, i: usize) -> bool {
+        // Whether slot index i lies in [tail, head) on the ring.
+        if self.len == 0 {
+            return false;
+        }
+        if self.tail < self.head {
+            i >= self.tail && i < self.head
+        } else {
+            i >= self.tail || i < self.head
+        }
+    }
+
+    /// LLC miss probe: the in-use entry holding `line` nearest the *head*
+    /// (the newest buffered version), per §4.1. Records probe statistics.
+    pub fn probe(&mut self, line: LineAddr) -> Option<TcEntry> {
+        let idxs: Vec<usize> = self.window_indices().collect();
+        for i in idxs.into_iter().rev() {
+            let e = &self.entries[i];
+            if e.state != EntryState::Available && e.line == line {
+                self.stats.probe_hits.inc();
+                return Some(*e);
+            }
+        }
+        self.stats.probe_misses.inc();
+        None
+    }
+
+    /// The in-use entries in FIFO order (tail to head), as crash recovery
+    /// would read them out of the STT-RAM array.
+    #[must_use]
+    pub fn entries_fifo(&self) -> Vec<TcEntry> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut i = self.tail;
+        for _ in 0..self.entries.len() {
+            if out.len() == self.len {
+                break;
+            }
+            let e = self.entries[i];
+            if e.state != EntryState::Available {
+                out.push(e);
+            }
+            i = self.step(i);
+        }
+        debug_assert_eq!(out.len(), self.len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmacc_types::Addr;
+
+    fn cfg(entries: u64) -> TxCacheConfig {
+        TxCacheConfig {
+            size_bytes: entries * 64,
+            ..TxCacheConfig::dac17()
+        }
+    }
+
+    fn word(i: u64) -> WordAddr {
+        Addr::nvm_base().offset(i * 64).word()
+    }
+
+    fn tx(n: u64) -> TxId {
+        TxId::new(0, n)
+    }
+
+    #[test]
+    fn insert_commit_issue_ack_cycle() {
+        let mut tc = TxCache::new(&cfg(4));
+        tc.insert(tx(0), word(1), 10).unwrap();
+        tc.insert(tx(0), word(2), 20).unwrap();
+        assert_eq!(tc.occupancy(), 2);
+        assert_eq!(tc.active_entries(), 2);
+        assert!(tc.next_issue().is_none(), "active entries must not issue");
+
+        assert_eq!(tc.commit(tx(0)), 2);
+        assert_eq!(tc.active_entries(), 0);
+
+        let (i1, e1) = tc.next_issue().unwrap();
+        assert_eq!(e1.line, word(1).line());
+        tc.mark_issued(i1);
+        let (i2, e2) = tc.next_issue().unwrap();
+        assert_eq!(e2.line, word(2).line());
+        tc.mark_issued(i2);
+        assert!(tc.next_issue().is_none());
+
+        tc.ack_slot(i1);
+        assert_eq!(tc.occupancy(), 1);
+        tc.ack_slot(i2);
+        assert_eq!(tc.occupancy(), 0);
+        assert_eq!(tc.stats.acks.value(), 2);
+    }
+
+    #[test]
+    fn fifo_order_is_program_order() {
+        let mut tc = TxCache::new(&cfg(8));
+        for i in 0..4 {
+            tc.insert(tx(0), word(i), i).unwrap();
+        }
+        tc.commit(tx(0));
+        let mut order = Vec::new();
+        while let Some((i, e)) = tc.next_issue() {
+            order.push(e.line);
+            tc.mark_issued(i);
+        }
+        assert_eq!(
+            order,
+            (0..4).map(|i| word(i).line()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn full_rejection_and_recovery_after_ack() {
+        let mut tc = TxCache::new(&cfg(2));
+        tc.insert(tx(0), word(0), 0).unwrap();
+        tc.insert(tx(0), word(1), 1).unwrap();
+        assert_eq!(tc.insert(tx(0), word(2), 2), Err(TcFullError));
+        assert_eq!(tc.stats.full_rejections.value(), 1);
+
+        tc.commit(tx(0));
+        let (i, _) = tc.next_issue().unwrap();
+        tc.mark_issued(i);
+        tc.ack_slot(i);
+        tc.insert(tx(1), word(2), 2).unwrap();
+        assert_eq!(tc.occupancy(), 2);
+    }
+
+    #[test]
+    fn ack_line_matches_nearest_tail() {
+        let mut tc = TxCache::new(&cfg(4));
+        // Two writes to the same line in one tx (no coalescing).
+        tc.insert(tx(0), word(5), 1).unwrap();
+        tc.insert(tx(0), word(5), 2).unwrap();
+        tc.commit(tx(0));
+        let (a, _) = tc.next_issue().unwrap();
+        tc.mark_issued(a);
+        let (b, _) = tc.next_issue().unwrap();
+        tc.mark_issued(b);
+        // Ack by line: frees the tail-most (oldest) entry first.
+        let freed = tc.ack_line(word(5).line()).unwrap();
+        assert_eq!(freed, a);
+        let freed = tc.ack_line(word(5).line()).unwrap();
+        assert_eq!(freed, b);
+        assert_eq!(tc.ack_line(word(5).line()), None);
+    }
+
+    #[test]
+    fn probe_returns_newest_version() {
+        let mut tc = TxCache::new(&cfg(4));
+        tc.insert(tx(0), word(5), 1).unwrap();
+        tc.commit(tx(0));
+        tc.insert(tx(1), word(5), 2).unwrap();
+        let hit = tc.probe(word(5).line()).unwrap();
+        assert_eq!(hit.values[word(5).index_in_line()], Some(2));
+        assert!(tc.probe(word(9).line()).is_none());
+        assert_eq!(tc.stats.probe_hits.value(), 1);
+        assert_eq!(tc.stats.probe_misses.value(), 1);
+    }
+
+    #[test]
+    fn coalescing_merges_same_line_writes() {
+        let mut c = cfg(4);
+        c.coalesce = true;
+        let mut tc = TxCache::new(&c);
+        let w0 = Addr::nvm_base().word();
+        let w1 = Addr::nvm_base().offset(8).word();
+        tc.insert(tx(0), w0, 1).unwrap();
+        tc.insert(tx(0), w1, 2).unwrap(); // same line, different word
+        assert_eq!(tc.occupancy(), 1);
+        assert_eq!(tc.stats.coalesced.value(), 1);
+        let e = tc.probe(w0.line()).unwrap();
+        assert_eq!(e.values[0], Some(1));
+        assert_eq!(e.values[1], Some(2));
+        // A different transaction does not coalesce into it.
+        tc.commit(tx(0));
+        tc.insert(tx(1), w0, 9).unwrap();
+        assert_eq!(tc.occupancy(), 2);
+    }
+
+    #[test]
+    fn overflow_trigger_at_threshold() {
+        let mut c = cfg(10);
+        c.overflow_threshold = 0.9;
+        let mut tc = TxCache::new(&c);
+        for i in 0..9 {
+            assert!(!tc.overflow_triggered());
+            tc.insert(tx(0), word(i), i).unwrap();
+        }
+        assert!(tc.overflow_triggered(), "9 of 10 active entries = 90%");
+        // Committed entries do not count toward overflow.
+        tc.commit(tx(0));
+        assert!(!tc.overflow_triggered());
+    }
+
+    #[test]
+    fn discard_active_drops_only_that_tx() {
+        let mut tc = TxCache::new(&cfg(8));
+        tc.insert(tx(0), word(0), 0).unwrap();
+        tc.commit(tx(0));
+        tc.insert(tx(1), word(1), 1).unwrap();
+        tc.insert(tx(1), word(2), 2).unwrap();
+        assert_eq!(tc.discard_active(tx(1)), 2);
+        assert_eq!(tc.occupancy(), 1);
+        let fifo = tc.entries_fifo();
+        assert_eq!(fifo.len(), 1);
+        assert_eq!(fifo[0].tx, tx(0));
+    }
+
+    #[test]
+    fn entries_fifo_orders_tail_to_head() {
+        let mut tc = TxCache::new(&cfg(4));
+        tc.insert(tx(0), word(3), 3).unwrap();
+        tc.insert(tx(0), word(7), 7).unwrap();
+        let fifo = tc.entries_fifo();
+        assert_eq!(fifo[0].line, word(3).line());
+        assert_eq!(fifo[1].line, word(7).line());
+    }
+
+    #[test]
+    fn out_of_order_ack_holes_do_not_free_slots_early() {
+        let mut tc = TxCache::new(&cfg(4));
+        for i in 0..4 {
+            tc.insert(tx(0), word(i), i).unwrap();
+        }
+        tc.commit(tx(0));
+        let slots: Vec<usize> = (0..4)
+            .map(|_| {
+                let (i, _) = tc.next_issue().unwrap();
+                tc.mark_issued(i);
+                i
+            })
+            .collect();
+        // Ack a middle entry: the ring is still full for inserts because
+        // the hole sits inside the window.
+        tc.ack_slot(slots[1]);
+        assert_eq!(tc.occupancy(), 3);
+        assert!(tc.is_full(), "hole inside the window is not insertable");
+        assert_eq!(tc.insert(tx(1), word(9), 9), Err(TcFullError));
+        // Acking the tail entry advances the tail over the hole.
+        tc.ack_slot(slots[0]);
+        assert!(!tc.is_full());
+        tc.insert(tx(1), word(9), 9).unwrap();
+    }
+
+    #[test]
+    fn ring_wraps_correctly() {
+        let mut tc = TxCache::new(&cfg(2));
+        for round in 0..5u64 {
+            tc.insert(tx(round), word(round), round).unwrap();
+            tc.commit(tx(round));
+            let (i, _) = tc.next_issue().unwrap();
+            tc.mark_issued(i);
+            tc.ack_slot(i);
+            assert_eq!(tc.occupancy(), 0);
+        }
+        assert_eq!(tc.stats.inserts.value(), 5);
+        assert_eq!(tc.stats.acks.value(), 5);
+    }
+}

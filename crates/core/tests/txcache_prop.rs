@@ -1,0 +1,125 @@
+//! Property tests of the transaction-cache (CAM FIFO) state machine.
+
+use proptest::prelude::*;
+
+use pmacc::{EntryState, TxCache};
+use pmacc_types::{Addr, TxCacheConfig, TxId, WordAddr};
+
+#[derive(Debug, Clone, Copy)]
+enum TcOp {
+    /// Insert a store for the running transaction at word index `w`.
+    Insert(u8),
+    /// Commit the running transaction and start the next.
+    Commit,
+    /// Issue the next committed entry toward the NVM.
+    Issue,
+    /// Acknowledge the oldest issued-but-unacked entry.
+    Ack,
+}
+
+fn op_strategy() -> impl Strategy<Value = TcOp> {
+    prop_oneof![
+        3 => (0u8..32).prop_map(TcOp::Insert),
+        1 => Just(TcOp::Commit),
+        2 => Just(TcOp::Issue),
+        2 => Just(TcOp::Ack),
+    ]
+}
+
+fn word(i: u8) -> WordAddr {
+    Addr::nvm_base().offset(u64::from(i) * 64).word()
+}
+
+proptest! {
+    #[test]
+    fn fifo_invariants_hold(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        entries in 2u64..32,
+        coalesce in any::<bool>(),
+    ) {
+        let cfg = TxCacheConfig {
+            size_bytes: entries * 64,
+            coalesce,
+            ..TxCacheConfig::dac17()
+        };
+        let mut tc = TxCache::new(&cfg);
+        let mut serial = 0u64;
+        let mut tx = TxId::new(0, serial);
+        // Issue order bookkeeping: (slot) issued but not acked, FIFO.
+        let mut issued: std::collections::VecDeque<usize> = Default::default();
+        // Insertion order of committed-and-unissued entries.
+        let mut committed_insertion: std::collections::VecDeque<WordAddr> = Default::default();
+        let mut active_insertion: Vec<WordAddr> = Vec::new();
+
+        for op in ops {
+            match op {
+                TcOp::Insert(w) => {
+                    let before = tc.occupancy();
+                    match tc.insert(tx, word(w), u64::from(w)) {
+                        Ok(()) => {
+                            prop_assert!(tc.occupancy() >= before);
+                            if tc.occupancy() > before {
+                                active_insertion.push(word(w));
+                            }
+                        }
+                        Err(_) => {
+                            prop_assert!(tc.is_full(), "reject only when full");
+                        }
+                    }
+                }
+                TcOp::Commit => {
+                    let n = tc.commit(tx);
+                    prop_assert_eq!(n, active_insertion.len(), "commit matches all active");
+                    committed_insertion.extend(active_insertion.drain(..));
+                    serial += 1;
+                    tx = TxId::new(0, serial);
+                    prop_assert_eq!(tc.active_entries(), 0);
+                }
+                TcOp::Issue => {
+                    if let Some((slot, entry)) = tc.next_issue() {
+                        // FIFO: must be the oldest committed unissued entry.
+                        let expect = committed_insertion.pop_front().expect("tracked entry");
+                        prop_assert_eq!(entry.line, expect.line(), "issue in insertion order");
+                        prop_assert_eq!(entry.state, EntryState::Committed);
+                        prop_assert!(!entry.issued);
+                        tc.mark_issued(slot);
+                        issued.push_back(slot);
+                    } else {
+                        prop_assert!(committed_insertion.is_empty(),
+                            "next_issue may only stall behind an active entry");
+                    }
+                }
+                TcOp::Ack => {
+                    if let Some(slot) = issued.pop_front() {
+                        let before = tc.occupancy();
+                        tc.ack_slot(slot);
+                        prop_assert_eq!(tc.occupancy(), before - 1);
+                    }
+                }
+            }
+            // Global invariants.
+            prop_assert!(tc.occupancy() <= tc.capacity());
+            prop_assert!(tc.active_entries() <= tc.occupancy());
+            prop_assert_eq!(tc.entries_fifo().len(), tc.occupancy());
+        }
+    }
+
+    #[test]
+    fn probe_always_returns_newest(
+        writes in proptest::collection::vec((0u8..8, 0u64..1000), 1..30),
+    ) {
+        let cfg = TxCacheConfig::dac17();
+        let mut tc = TxCache::new(&cfg);
+        let tx = TxId::new(0, 0);
+        let mut newest = std::collections::HashMap::new();
+        for (w, v) in writes {
+            if tc.insert(tx, word(w), v).is_ok() {
+                newest.insert(word(w).line(), (w, v));
+            }
+        }
+        for (line, (w, v)) in newest {
+            let hit = tc.probe(line).expect("line buffered");
+            prop_assert_eq!(hit.values[word(w).index_in_line()], Some(v));
+        }
+    }
+}

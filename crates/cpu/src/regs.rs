@@ -1,0 +1,106 @@
+//! The CPU transaction registers of §4.2.
+
+use pmacc_types::TxId;
+
+/// The per-core mode register and next-TxID register.
+///
+/// In the paper: "CPU maintains a mode register that indicates whether it
+/// is in the normal mode or transaction mode [...] and a next transaction
+/// register. [...] At encountering `TX_BEGIN`, CPU will copy the
+/// transaction ID from the next transaction ID into the mode register and
+/// enter the transaction mode. The next transaction register will
+/// automatically increase by one."
+///
+/// # Example
+///
+/// ```
+/// use pmacc_cpu::TxRegs;
+/// let mut r = TxRegs::new(0);
+/// assert!(r.current().is_none());
+/// let t = r.begin();
+/// assert_eq!(r.current(), Some(t));
+/// assert_eq!(r.end(), t);
+/// assert!(r.current().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxRegs {
+    mode: Option<TxId>,
+    next: TxId,
+}
+
+impl TxRegs {
+    /// Registers for `core`, starting at transaction serial 0.
+    #[must_use]
+    pub fn new(core: u8) -> Self {
+        TxRegs {
+            mode: None,
+            next: TxId::new(core, 0),
+        }
+    }
+
+    /// The running transaction, if the core is in transaction mode.
+    #[must_use]
+    pub fn current(&self) -> Option<TxId> {
+        self.mode
+    }
+
+    /// Whether the core is in transaction mode.
+    #[must_use]
+    pub fn in_tx(&self) -> bool {
+        self.mode.is_some()
+    }
+
+    /// Executes `TX_BEGIN`: enters transaction mode and returns the new
+    /// transaction's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nested `TX_BEGIN` (the paper's flat transaction model).
+    pub fn begin(&mut self) -> TxId {
+        assert!(self.mode.is_none(), "nested TX_BEGIN");
+        let id = self.next;
+        self.mode = Some(id);
+        self.next = id.next();
+        id
+    }
+
+    /// Executes `TX_END`: leaves transaction mode and returns the id of
+    /// the transaction that just committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core was not in transaction mode.
+    pub fn end(&mut self) -> TxId {
+        self.mode.take().expect("TX_END outside a transaction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serials_increase() {
+        let mut r = TxRegs::new(3);
+        let a = r.begin();
+        r.end();
+        let b = r.begin();
+        assert_eq!(a, TxId::new(3, 0));
+        assert_eq!(b, TxId::new(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "nested TX_BEGIN")]
+    fn nested_begin_panics() {
+        let mut r = TxRegs::new(0);
+        r.begin();
+        r.begin();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a transaction")]
+    fn stray_end_panics() {
+        let mut r = TxRegs::new(0);
+        r.end();
+    }
+}

@@ -1,0 +1,169 @@
+//! The core's store buffer.
+//!
+//! Stores retire into this finite FIFO and drain into the L1 in the
+//! background (one per cycle in the timing model); the core only stalls
+//! when the buffer fills, which is how store cost stays off the critical
+//! path for every scheme except where fences force a drain.
+
+use std::collections::VecDeque;
+
+use pmacc_types::{Addr, TxId, Word};
+
+/// What kind of store a buffered entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// A program data store.
+    Data,
+    /// An SP write-ahead-log record store.
+    Log,
+}
+
+/// One buffered store awaiting drain into the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStore {
+    /// Target address.
+    pub addr: Addr,
+    /// Value stored.
+    pub value: Word,
+    /// Data or log store.
+    pub kind: StoreKind,
+    /// Transaction the store was issued in, if any.
+    pub tx: Option<TxId>,
+}
+
+/// A finite FIFO of pending stores.
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: VecDeque<PendingStore>,
+    capacity: usize,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store buffer must have capacity");
+        StoreBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Whether another store fits.
+    #[must_use]
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Whether the buffer is fully drained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Buffered store count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buffers a store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — the core must stall instead (check
+    /// [`StoreBuffer::has_room`] first).
+    pub fn push(&mut self, store: PendingStore) {
+        assert!(self.has_room(), "store buffer overflow");
+        self.entries.push_back(store);
+    }
+
+    /// The oldest store, without removing it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&PendingStore> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest store (it drains into the L1).
+    pub fn pop(&mut self) -> Option<PendingStore> {
+        self.entries.pop_front()
+    }
+
+    /// Store-to-load forwarding: the youngest buffered value for `addr`,
+    /// if any (a load that hits the store buffer needs no cache access).
+    #[must_use]
+    pub fn forward(&self, addr: Addr) -> Option<Word> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|s| s.addr == addr)
+            .map(|s| s.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(addr: u64, value: Word) -> PendingStore {
+        PendingStore {
+            addr: Addr::new(addr),
+            value,
+            kind: StoreKind::Data,
+            tx: None,
+        }
+    }
+
+    #[test]
+    fn fifo_drain_order() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(0, 1));
+        sb.push(st(8, 2));
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.pop().unwrap().value, 1);
+        assert_eq!(sb.pop().unwrap().value, 2);
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(st(0, 1));
+        assert!(!sb.has_room());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(st(0, 1));
+        sb.push(st(8, 2));
+    }
+
+    #[test]
+    fn forwarding_returns_youngest() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(16, 1));
+        sb.push(st(16, 2));
+        sb.push(st(24, 3));
+        assert_eq!(sb.forward(Addr::new(16)), Some(2));
+        assert_eq!(sb.forward(Addr::new(24)), Some(3));
+        assert_eq!(sb.forward(Addr::new(32)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = StoreBuffer::new(0);
+    }
+}

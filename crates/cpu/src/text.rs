@@ -1,0 +1,221 @@
+//! A line-oriented text format for traces, for inspection, diffing and
+//! exchanging workloads with other tools.
+//!
+//! ```text
+//! # one op per line; '#' starts a comment
+//! tx_begin
+//! store 0x280000000 0x2a
+//! load 0x280000000
+//! compute 3
+//! log 0x200000000 0x1 0x2a
+//! clwb 0x200000000
+//! sfence
+//! pcommit
+//! tx_end
+//! ```
+
+use core::fmt;
+use std::error::Error;
+
+use pmacc_types::Addr;
+
+use crate::op::Op;
+use crate::trace::Trace;
+
+/// A trace file could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Serializes a trace to the text format.
+#[must_use]
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    for op in trace.ops() {
+        match *op {
+            Op::Compute(n) => out.push_str(&format!("compute {n}\n")),
+            Op::Load { addr } => out.push_str(&format!("load {:#x}\n", addr.raw())),
+            Op::Store { addr, value } => {
+                out.push_str(&format!("store {:#x} {value:#x}\n", addr.raw()));
+            }
+            Op::LogStore { addr, meta, value } => {
+                out.push_str(&format!("log {:#x} {meta:#x} {value:#x}\n", addr.raw()));
+            }
+            Op::Flush { addr } => out.push_str(&format!("clwb {:#x}\n", addr.raw())),
+            Op::Fence => out.push_str("sfence\n"),
+            Op::PCommit => out.push_str("pcommit\n"),
+            Op::TxBegin => out.push_str("tx_begin\n"),
+            Op::TxEnd => out.push_str("tx_end\n"),
+        }
+    }
+    out
+}
+
+fn parse_u64(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+fn parse_addr(tok: &str, line: usize) -> Result<Addr, ParseTraceError> {
+    let raw = parse_u64(tok).ok_or_else(|| ParseTraceError {
+        line,
+        message: format!("bad address `{tok}`"),
+    })?;
+    if raw >= 16 << 30 {
+        return Err(ParseTraceError {
+            line,
+            message: format!("address {raw:#x} outside the simulated space"),
+        });
+    }
+    Ok(Addr::new(raw))
+}
+
+/// Parses the text format back into a trace.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming the offending line.
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let verb = toks.next().expect("nonempty line has a token");
+        let mut arg = |what: &str| -> Result<&str, ParseTraceError> {
+            toks.next().ok_or_else(|| ParseTraceError {
+                line: line_no,
+                message: format!("`{verb}` needs {what}"),
+            })
+        };
+        let op = match verb {
+            "compute" => {
+                let n = parse_u64(arg("a count")?).ok_or_else(|| ParseTraceError {
+                    line: line_no,
+                    message: "bad compute count".into(),
+                })?;
+                Op::Compute(u32::try_from(n).map_err(|_| ParseTraceError {
+                    line: line_no,
+                    message: "compute count too large".into(),
+                })?)
+            }
+            "load" => Op::Load {
+                addr: parse_addr(arg("an address")?, line_no)?,
+            },
+            "store" => Op::Store {
+                addr: parse_addr(arg("an address")?, line_no)?,
+                value: parse_u64(arg("a value")?).ok_or_else(|| ParseTraceError {
+                    line: line_no,
+                    message: "bad store value".into(),
+                })?,
+            },
+            "log" => Op::LogStore {
+                addr: parse_addr(arg("an address")?, line_no)?,
+                meta: parse_u64(arg("a meta word")?).ok_or_else(|| ParseTraceError {
+                    line: line_no,
+                    message: "bad log meta".into(),
+                })?,
+                value: parse_u64(arg("a value")?).ok_or_else(|| ParseTraceError {
+                    line: line_no,
+                    message: "bad log value".into(),
+                })?,
+            },
+            "clwb" => Op::Flush {
+                addr: parse_addr(arg("an address")?, line_no)?,
+            },
+            "sfence" => Op::Fence,
+            "pcommit" => Op::PCommit,
+            "tx_begin" => Op::TxBegin,
+            "tx_end" => Op::TxEnd,
+            other => {
+                return Err(ParseTraceError {
+                    line: line_no,
+                    message: format!("unknown op `{other}`"),
+                })
+            }
+        };
+        if let Some(extra) = toks.next() {
+            return Err(ParseTraceError {
+                line: line_no,
+                message: format!("trailing token `{extra}`"),
+            });
+        }
+        trace.push(op);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut t = Trace::new();
+        t.push(Op::TxBegin);
+        t.push(Op::Compute(3));
+        t.push(Op::store(Addr::nvm_base(), 42));
+        t.push(Op::load(Addr::new(64)));
+        t.push(Op::LogStore {
+            addr: Addr::nvm_base().offset(128),
+            meta: 7,
+            value: 9,
+        });
+        t.push(Op::Flush {
+            addr: Addr::nvm_base(),
+        });
+        t.push(Op::Fence);
+        t.push(Op::PCommit);
+        t.push(Op::TxEnd);
+        let text = to_text(&t);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let t = from_text("# header\n\n  tx_begin # inline\n tx_end\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn decimal_and_hex_accepted() {
+        let t = from_text("store 64 10\nstore 0x40 0xa\n").unwrap();
+        assert_eq!(t.get(0), t.get(1));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_text("tx_begin\nbogus 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown op"));
+
+        let e = from_text("store 0x40\n").unwrap_err();
+        assert!(e.message.contains("needs a value"));
+
+        let e = from_text("sfence extra\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+
+        let e = from_text("load 0xfffffffffff\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Op traces and their validation.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::op::Op;
+
+/// A trace could not be validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// `TX_BEGIN` while already in a transaction, at op index.
+    NestedBegin(usize),
+    /// `TX_END` outside a transaction, at op index.
+    StrayEnd(usize),
+    /// The trace ends inside a transaction.
+    UnclosedTx,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NestedBegin(i) => write!(f, "nested TX_BEGIN at op {i}"),
+            TraceError::StrayEnd(i) => write!(f, "TX_END outside a transaction at op {i}"),
+            TraceError::UnclosedTx => f.write_str("trace ends inside a transaction"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A per-core operation stream.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_cpu::{Op, Trace};
+/// use pmacc_types::Addr;
+///
+/// let mut t = Trace::new();
+/// t.push(Op::Compute(2));
+/// t.push(Op::load(Addr::new(64)));
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.op_count(), 3); // Compute(2) counts as two ops
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Appends several ops.
+    pub fn extend_ops(&mut self, ops: impl IntoIterator<Item = Op>) {
+        self.ops.extend(ops);
+    }
+
+    /// The ops in program order.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The op at `index`, if in range.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Op> {
+        self.ops.get(index).copied()
+    }
+
+    /// Number of trace entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Dynamic op count (`Compute(n)` counts as `n`), the IPC numerator.
+    #[must_use]
+    pub fn op_count(&self) -> u64 {
+        self.ops.iter().map(|o| u64::from(o.issue_slots())).sum()
+    }
+
+    /// Number of complete transactions.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.ops.iter().filter(|o| **o == Op::TxEnd).count() as u64
+    }
+
+    /// Number of memory-touching ops.
+    #[must_use]
+    pub fn memory_ops(&self) -> u64 {
+        self.ops.iter().filter(|o| o.is_memory()).count() as u64
+    }
+
+    /// Per-transaction persistent-store counts, in commit order — the
+    /// write-set sizes that size the transaction cache (§3: "capacity can
+    /// be flexibly configured based on the transaction sizes").
+    #[must_use]
+    pub fn tx_store_counts(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut current: Option<u32> = None;
+        for op in &self.ops {
+            match op {
+                Op::TxBegin => current = Some(0),
+                Op::TxEnd => out.push(current.take().unwrap_or(0)),
+                Op::Store { addr, .. } if addr.is_persistent() => {
+                    if let Some(n) = current.as_mut() {
+                        *n += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Checks transaction markers are balanced and unnested.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] found.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut in_tx = false;
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                Op::TxBegin if in_tx => return Err(TraceError::NestedBegin(i)),
+                Op::TxBegin => in_tx = true,
+                Op::TxEnd if !in_tx => return Err(TraceError::StrayEnd(i)),
+                Op::TxEnd => in_tx = false,
+                _ => {}
+            }
+        }
+        if in_tx {
+            return Err(TraceError::UnclosedTx);
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Op> for Trace {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Op> for Trace {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmacc_types::Addr;
+
+    #[test]
+    fn counting() {
+        let t: Trace = [
+            Op::TxBegin,
+            Op::Compute(3),
+            Op::store(Addr::nvm_base(), 1),
+            Op::load(Addr::new(0)),
+            Op::TxEnd,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.op_count(), 7);
+        assert_eq!(t.transactions(), 1);
+        assert_eq!(t.memory_ops(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_nesting() {
+        let t: Trace = [Op::TxBegin, Op::TxBegin].into_iter().collect();
+        assert_eq!(t.validate(), Err(TraceError::NestedBegin(1)));
+    }
+
+    #[test]
+    fn validation_catches_stray_end() {
+        let t: Trace = [Op::TxEnd].into_iter().collect();
+        assert_eq!(t.validate(), Err(TraceError::StrayEnd(0)));
+    }
+
+    #[test]
+    fn validation_catches_unclosed() {
+        let t: Trace = [Op::TxBegin, Op::Compute(1)].into_iter().collect();
+        assert_eq!(t.validate(), Err(TraceError::UnclosedTx));
+    }
+
+    #[test]
+    fn tx_store_counts_ignores_volatile_and_outside() {
+        let t: Trace = [
+            Op::store(Addr::nvm_base(), 0), // outside any tx
+            Op::TxBegin,
+            Op::store(Addr::nvm_base(), 1),
+            Op::store(Addr::new(64), 2), // volatile
+            Op::store(Addr::nvm_base().offset(8), 3),
+            Op::TxEnd,
+            Op::TxBegin,
+            Op::TxEnd,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.tx_store_counts(), vec![2, 0]);
+    }
+
+    #[test]
+    fn get_and_indexing() {
+        let mut t = Trace::new();
+        t.extend_ops([Op::Fence]);
+        assert_eq!(t.get(0), Some(Op::Fence));
+        assert_eq!(t.get(1), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! Property test: the trace text format round-trips arbitrary traces.
+
+use proptest::prelude::*;
+
+use pmacc_cpu::text::{from_text, to_text};
+use pmacc_cpu::{Op, Trace};
+use pmacc_types::Addr;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let addr = (0u64..(1 << 30)).prop_map(|a| Addr::new(a * 8));
+    prop_oneof![
+        (1u32..16).prop_map(Op::Compute),
+        addr.clone().prop_map(|addr| Op::Load { addr }),
+        (addr.clone(), any::<u64>()).prop_map(|(addr, value)| Op::Store { addr, value }),
+        (addr.clone(), any::<u64>(), any::<u64>())
+            .prop_map(|(addr, meta, value)| Op::LogStore { addr, meta, value }),
+        addr.prop_map(|addr| Op::Flush { addr }),
+        Just(Op::Fence),
+        Just(Op::PCommit),
+        Just(Op::TxBegin),
+        Just(Op::TxEnd),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn text_round_trip(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let trace: Trace = ops.into_iter().collect();
+        let text = to_text(&trace);
+        let back = from_text(&text).expect("serialized traces parse");
+        prop_assert_eq!(back, trace);
+    }
+}

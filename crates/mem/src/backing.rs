@@ -1,0 +1,143 @@
+//! Functional (value-carrying) backing store.
+//!
+//! The timing model decides *when* a line reaches memory; the backing store
+//! records *what* is there, at 64-bit-word granularity. The NVM backing is
+//! the ground truth that crash recovery inspects; the DRAM backing is
+//! cleared by a simulated crash.
+
+use std::collections::HashMap;
+
+use pmacc_types::{LineAddr, Word, WordAddr, WORDS_PER_LINE};
+
+/// Word-granularity memory contents for one region.
+///
+/// Unwritten words read as zero, matching zero-initialized simulated RAM.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_mem::Backing;
+/// use pmacc_types::WordAddr;
+///
+/// let mut b = Backing::new();
+/// assert_eq!(b.read_word(WordAddr::new(9)), 0);
+/// b.write_word(WordAddr::new(9), 42);
+/// assert_eq!(b.read_word(WordAddr::new(9)), 42);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Backing {
+    words: HashMap<WordAddr, Word>,
+}
+
+impl Backing {
+    /// Creates an empty (all-zero) backing store.
+    #[must_use]
+    pub fn new() -> Self {
+        Backing::default()
+    }
+
+    /// Reads one word (zero if never written).
+    #[must_use]
+    pub fn read_word(&self, addr: WordAddr) -> Word {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes one word.
+    pub fn write_word(&mut self, addr: WordAddr, value: Word) {
+        self.words.insert(addr, value);
+    }
+
+    /// Reads a whole line as its eight words.
+    #[must_use]
+    pub fn read_line(&self, line: LineAddr) -> [Word; WORDS_PER_LINE] {
+        let mut out = [0; WORDS_PER_LINE];
+        for (i, w) in line.words().enumerate() {
+            out[i] = self.read_word(w);
+        }
+        out
+    }
+
+    /// Writes a whole line from its eight words.
+    pub fn write_line(&mut self, line: LineAddr, values: &[Word; WORDS_PER_LINE]) {
+        for (i, w) in line.words().enumerate() {
+            self.words.insert(w, values[i]);
+        }
+    }
+
+    /// Number of distinct words ever written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing was ever written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Erases everything (a crash, for the DRAM region).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Iterates over all written `(address, value)` pairs in arbitrary
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordAddr, Word)> + '_ {
+        self.words.iter().map(|(a, v)| (*a, *v))
+    }
+}
+
+impl FromIterator<(WordAddr, Word)> for Backing {
+    fn from_iter<I: IntoIterator<Item = (WordAddr, Word)>>(iter: I) -> Self {
+        Backing {
+            words: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(WordAddr, Word)> for Backing {
+    fn extend<I: IntoIterator<Item = (WordAddr, Word)>>(&mut self, iter: I) {
+        self.words.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trip() {
+        let mut b = Backing::new();
+        let line = LineAddr::new(100);
+        let vals = [1, 2, 3, 4, 5, 6, 7, 8];
+        b.write_line(line, &vals);
+        assert_eq!(b.read_line(line), vals);
+        assert_eq!(b.read_word(line.word(3)), 4);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let b = Backing::new();
+        assert_eq!(b.read_line(LineAddr::new(5)), [0; WORDS_PER_LINE]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_erases() {
+        let mut b = Backing::new();
+        b.write_word(WordAddr::new(1), 7);
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.read_word(WordAddr::new(1)), 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut b: Backing = [(WordAddr::new(1), 10)].into_iter().collect();
+        b.extend([(WordAddr::new(2), 20)]);
+        assert_eq!(b.read_word(WordAddr::new(1)), 10);
+        assert_eq!(b.read_word(WordAddr::new(2)), 20);
+    }
+}

@@ -1,0 +1,107 @@
+//! Bank state: open-row tracking and busy times.
+
+use pmacc_types::{Cycle, LineAddr, MemConfig};
+
+/// Index of a bank within a channel (`rank * banks_per_rank + bank`).
+pub type BankId = usize;
+
+/// Timing state of a single memory bank.
+#[derive(Debug, Clone, Default)]
+pub struct BankState {
+    /// Cycle at which the bank can accept a new access.
+    pub ready_at: Cycle,
+    /// Currently open row, if any.
+    pub open_row: Option<u64>,
+}
+
+impl BankState {
+    /// Creates an idle, closed bank.
+    #[must_use]
+    pub fn new() -> Self {
+        BankState::default()
+    }
+
+    /// Whether an access to `row` would hit the open row buffer.
+    #[must_use]
+    pub fn is_row_hit(&self, row: u64) -> bool {
+        self.open_row == Some(row)
+    }
+}
+
+/// Maps a line address onto (bank, row) for a channel.
+///
+/// Consecutive lines interleave across banks (line-level interleaving), and
+/// each `lines_per_row` consecutive *bank-local* lines share one row, the
+/// standard DRAMSim2-style mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMap {
+    banks: u64,
+    lines_per_row: u64,
+}
+
+impl AddressMap {
+    /// Creates the map for a channel configuration.
+    #[must_use]
+    pub fn new(cfg: &MemConfig) -> Self {
+        AddressMap {
+            banks: u64::from(cfg.banks()),
+            lines_per_row: cfg.lines_per_row,
+        }
+    }
+
+    /// The bank a line maps to.
+    #[must_use]
+    pub fn bank(&self, line: LineAddr) -> BankId {
+        (line.raw() % self.banks) as BankId
+    }
+
+    /// The row (within its bank) a line maps to.
+    #[must_use]
+    pub fn row(&self, line: LineAddr) -> u64 {
+        (line.raw() / self.banks) / self.lines_per_row
+    }
+
+    /// Number of banks in the channel.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmacc_types::MemConfig;
+
+    fn map() -> AddressMap {
+        AddressMap::new(&MemConfig::nvm_dac17())
+    }
+
+    #[test]
+    fn consecutive_lines_interleave_banks() {
+        let m = map();
+        assert_eq!(m.banks(), 32);
+        assert_eq!(m.bank(LineAddr::new(0)), 0);
+        assert_eq!(m.bank(LineAddr::new(1)), 1);
+        assert_eq!(m.bank(LineAddr::new(32)), 0);
+    }
+
+    #[test]
+    fn rows_group_bank_local_lines() {
+        let m = map();
+        // Lines 0 and 32 are both bank 0; bank-local indices 0 and 1.
+        assert_eq!(m.row(LineAddr::new(0)), 0);
+        assert_eq!(m.row(LineAddr::new(32)), 0);
+        // Bank-local line 32 starts row 1.
+        assert_eq!(m.row(LineAddr::new(32 * 32)), 1);
+    }
+
+    #[test]
+    fn row_hit_detection() {
+        let mut b = BankState::new();
+        assert!(!b.is_row_hit(0));
+        b.open_row = Some(5);
+        assert!(b.is_row_hit(5));
+        assert!(!b.is_row_hit(6));
+    }
+}

@@ -1,0 +1,124 @@
+//! Request-picking policies for the memory controller.
+
+use std::collections::VecDeque;
+
+use pmacc_types::MemReq;
+
+use crate::bank::{AddressMap, BankState};
+
+/// How the controller picks the next request from a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Strict arrival order.
+    Fcfs,
+    /// First-ready, first-come-first-served: prefer the oldest request that
+    /// hits an open row buffer *and* whose bank is idle; fall back to the
+    /// queue head. This is the standard DRAMSim2-style policy.
+    #[default]
+    FrFcfs,
+}
+
+impl SchedPolicy {
+    /// Picks the index of the request to issue next from `queue`, given the
+    /// current bank states, or `None` if the queue is empty.
+    #[must_use]
+    pub fn pick(
+        self,
+        queue: &VecDeque<MemReq>,
+        banks: &[BankState],
+        map: &AddressMap,
+        now: u64,
+    ) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        match self {
+            SchedPolicy::Fcfs => Some(0),
+            SchedPolicy::FrFcfs => {
+                // Oldest row-hit request on a ready bank wins.
+                for (i, req) in queue.iter().enumerate() {
+                    let b = map.bank(req.addr);
+                    if banks[b].ready_at <= now && banks[b].is_row_hit(map.row(req.addr)) {
+                        return Some(i);
+                    }
+                }
+                // Otherwise oldest request on a ready bank.
+                for (i, req) in queue.iter().enumerate() {
+                    let b = map.bank(req.addr);
+                    if banks[b].ready_at <= now {
+                        return Some(i);
+                    }
+                }
+                Some(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmacc_types::{LineAddr, MemConfig, ReqId, WriteCause};
+
+    fn setup() -> (AddressMap, Vec<BankState>) {
+        let cfg = MemConfig::nvm_dac17();
+        let map = AddressMap::new(&cfg);
+        let banks = vec![BankState::new(); map.banks()];
+        (map, banks)
+    }
+
+    fn write(id: u64, line: u64) -> MemReq {
+        MemReq::write(ReqId(id), LineAddr::new(line), None, WriteCause::Eviction)
+    }
+
+    #[test]
+    fn fcfs_always_picks_head() {
+        let (map, banks) = setup();
+        let mut q = VecDeque::new();
+        q.push_back(write(1, 0));
+        q.push_back(write(2, 1));
+        assert_eq!(SchedPolicy::Fcfs.pick(&q, &banks, &map, 0), Some(0));
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hit() {
+        let (map, mut banks) = setup();
+        // Open the row of line 1 (bank 1, row 0).
+        let b = map.bank(LineAddr::new(1));
+        banks[b].open_row = Some(map.row(LineAddr::new(1)));
+        let mut q = VecDeque::new();
+        q.push_back(write(1, 0)); // bank 0, closed row
+        q.push_back(write(2, 1)); // bank 1, row hit
+        assert_eq!(SchedPolicy::FrFcfs.pick(&q, &banks, &map, 0), Some(1));
+    }
+
+    #[test]
+    fn fr_fcfs_skips_busy_banks() {
+        let (map, mut banks) = setup();
+        banks[0].ready_at = 100; // bank of line 0 is busy
+        let mut q = VecDeque::new();
+        q.push_back(write(1, 0));
+        q.push_back(write(2, 1));
+        assert_eq!(SchedPolicy::FrFcfs.pick(&q, &banks, &map, 0), Some(1));
+    }
+
+    #[test]
+    fn fr_fcfs_falls_back_to_head_when_all_busy() {
+        let (map, mut banks) = setup();
+        for b in &mut banks {
+            b.ready_at = 100;
+        }
+        let mut q = VecDeque::new();
+        q.push_back(write(1, 0));
+        q.push_back(write(2, 1));
+        assert_eq!(SchedPolicy::FrFcfs.pick(&q, &banks, &map, 0), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let (map, banks) = setup();
+        let q = VecDeque::new();
+        assert_eq!(SchedPolicy::FrFcfs.pick(&q, &banks, &map, 0), None);
+        assert_eq!(SchedPolicy::Fcfs.pick(&q, &banks, &map, 0), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-channel statistics.
+
+use std::collections::HashMap;
+
+use pmacc_types::{Counter, Histogram, LineAddr, Ratio, WriteCause};
+
+/// Counters collected by one memory controller. Figure 9 of the paper is
+/// built from [`MemStats::writes`] broken down by [`WriteCause`].
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Completed read requests.
+    pub reads: Counter,
+    /// Completed write requests, by cause (indexed via [`WriteCause::all`]).
+    pub writes_by_cause: [Counter; 6],
+    /// Row-buffer hit ratio across all accesses.
+    pub row_hits: Ratio,
+    /// Queueing + service latency of reads, in cycles.
+    pub read_latency: Histogram,
+    /// Queueing + service latency of writes, in cycles.
+    pub write_latency: Histogram,
+    /// Number of scheduling decisions taken while in write-drain mode.
+    pub drain_issues: Counter,
+    /// Enqueue attempts rejected because a queue was full.
+    pub rejected: Counter,
+    /// Writes absorbed by write-queue coalescing (no device write).
+    pub coalesced_writes: Counter,
+    /// Device writes per line — the endurance/wear profile. NVM cells
+    /// wear out with writes, so persistence schemes are also judged by
+    /// how hard they hammer hot lines.
+    pub writes_per_line: HashMap<LineAddr, u64>,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStats::default()
+    }
+
+    /// Records a completed write of the given cause.
+    pub fn record_write(&mut self, cause: WriteCause, latency: u64) {
+        let idx = WriteCause::all()
+            .iter()
+            .position(|c| *c == cause)
+            .expect("cause is in WriteCause::all");
+        self.writes_by_cause[idx].inc();
+        self.write_latency.record(latency);
+    }
+
+    /// Records which line a device write hit (endurance accounting).
+    pub fn record_write_line(&mut self, line: LineAddr) {
+        *self.writes_per_line.entry(line).or_insert(0) += 1;
+    }
+
+    /// The most-written line and its write count, if any writes happened.
+    #[must_use]
+    pub fn hottest_line(&self) -> Option<(LineAddr, u64)> {
+        self.writes_per_line
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(l, n)| (*l, *n))
+    }
+
+    /// Mean device writes per written line.
+    #[must_use]
+    pub fn mean_writes_per_line(&self) -> f64 {
+        if self.writes_per_line.is_empty() {
+            return 0.0;
+        }
+        self.writes_per_line.values().sum::<u64>() as f64 / self.writes_per_line.len() as f64
+    }
+
+    /// Total completed writes across all causes.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes_by_cause.iter().map(|c| c.value()).sum()
+    }
+
+    /// Completed writes with the given cause.
+    #[must_use]
+    pub fn writes_with_cause(&self, cause: WriteCause) -> u64 {
+        let idx = WriteCause::all()
+            .iter()
+            .position(|c| *c == cause)
+            .expect("cause is in WriteCause::all");
+        self.writes_by_cause[idx].value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_breakdown() {
+        let mut s = MemStats::new();
+        s.record_write(WriteCause::Eviction, 10);
+        s.record_write(WriteCause::Log, 12);
+        s.record_write(WriteCause::Log, 14);
+        assert_eq!(s.writes(), 3);
+        assert_eq!(s.writes_with_cause(WriteCause::Log), 2);
+        assert_eq!(s.writes_with_cause(WriteCause::Cow), 0);
+        assert_eq!(s.write_latency.count(), 3);
+    }
+
+    #[test]
+    fn endurance_profile() {
+        use pmacc_types::LineAddr;
+        let mut s = MemStats::new();
+        assert_eq!(s.hottest_line(), None);
+        s.record_write_line(LineAddr::new(1));
+        s.record_write_line(LineAddr::new(1));
+        s.record_write_line(LineAddr::new(2));
+        assert_eq!(s.hottest_line(), Some((LineAddr::new(1), 2)));
+        assert!((s.mean_writes_per_line() - 1.5).abs() < 1e-12);
+    }
+}

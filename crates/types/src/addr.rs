@@ -1,0 +1,325 @@
+//! Physical addresses, cache-line addresses and memory regions.
+//!
+//! The simulated physical address space is split in two fixed regions,
+//! mirroring the hybrid DRAM + NVM memory system of the paper (Figure 1):
+//! DRAM occupies `[0, 8 GiB)` and the persistent NVM occupies
+//! `[8 GiB, 16 GiB)`. Data placed in the NVM region is *persistent*: it
+//! survives a simulated crash; everything else is volatile.
+
+use core::fmt;
+
+/// Size of a cache line in bytes (64 B, as in the paper's Table 2 machine).
+pub const LINE_BYTES: u64 = 64;
+/// Size of a machine word in bytes. All workload key/value fields are 64-bit.
+pub const WORD_BYTES: u64 = 8;
+/// Number of 64-bit words per cache line.
+pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
+
+/// First byte of the persistent NVM region (8 GiB).
+const NVM_BASE: u64 = 8 << 30;
+/// One-past-last byte of the physical address space (16 GiB).
+const ADDR_END: u64 = 16 << 30;
+
+/// Which backing memory device a physical address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemRegion {
+    /// Volatile DRAM: contents are lost across a simulated crash.
+    Dram,
+    /// Nonvolatile memory (STT-RAM in the paper): contents persist.
+    Nvm,
+}
+
+impl fmt::Display for MemRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemRegion::Dram => f.write_str("DRAM"),
+            MemRegion::Nvm => f.write_str("NVM"),
+        }
+    }
+}
+
+/// A byte-granularity physical address.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_types::{Addr, MemRegion};
+/// let a = Addr::new(0x40);
+/// assert_eq!(a.region(), MemRegion::Dram);
+/// assert_eq!(a.line().to_addr(), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` lies outside the 16 GiB simulated address space.
+    #[must_use]
+    pub fn new(raw: u64) -> Self {
+        assert!(raw < ADDR_END, "address {raw:#x} outside simulated space");
+        Addr(raw)
+    }
+
+    /// The first address of the persistent NVM region.
+    #[must_use]
+    pub fn nvm_base() -> Self {
+        Addr(NVM_BASE)
+    }
+
+    /// The raw byte offset.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The region (DRAM or NVM) this address maps to.
+    #[must_use]
+    pub fn region(self) -> MemRegion {
+        if self.0 >= NVM_BASE {
+            MemRegion::Nvm
+        } else {
+            MemRegion::Dram
+        }
+    }
+
+    /// Whether this address lies in the persistent NVM region.
+    #[must_use]
+    pub fn is_persistent(self) -> bool {
+        self.region() == MemRegion::Nvm
+    }
+
+    /// The cache line containing this address.
+    #[must_use]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The 64-bit word containing this address.
+    #[must_use]
+    pub fn word(self) -> WordAddr {
+        WordAddr(self.0 / WORD_BYTES)
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[must_use]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result leaves the simulated address space.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Self {
+        Addr::new(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+/// A cache-line-granularity address (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    #[must_use]
+    pub fn new(line_no: u64) -> Self {
+        assert!(
+            line_no < ADDR_END / LINE_BYTES,
+            "line {line_no:#x} outside simulated space"
+        );
+        LineAddr(line_no)
+    }
+
+    /// The raw line number.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line.
+    #[must_use]
+    pub fn to_addr(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The region (DRAM or NVM) this line maps to.
+    #[must_use]
+    pub fn region(self) -> MemRegion {
+        self.to_addr().region()
+    }
+
+    /// Whether this line lies in the persistent NVM region.
+    #[must_use]
+    pub fn is_persistent(self) -> bool {
+        self.region() == MemRegion::Nvm
+    }
+
+    /// Cache set index for a cache with `set_bits` index bits.
+    #[must_use]
+    pub fn index_bits(self, set_bits: u32) -> u64 {
+        self.0 & ((1 << set_bits) - 1)
+    }
+
+    /// Tag for a cache with `set_bits` index bits.
+    #[must_use]
+    pub fn tag_bits(self, set_bits: u32) -> u64 {
+        self.0 >> set_bits
+    }
+
+    /// The `i`-th word of this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= WORDS_PER_LINE`.
+    #[must_use]
+    pub fn word(self, i: usize) -> WordAddr {
+        assert!(i < WORDS_PER_LINE, "word index {i} out of line");
+        WordAddr(self.0 * WORDS_PER_LINE as u64 + i as u64)
+    }
+
+    /// Iterator over the word addresses covered by this line.
+    pub fn words(self) -> impl Iterator<Item = WordAddr> {
+        (0..WORDS_PER_LINE).map(move |i| self.word(i))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A 64-bit-word-granularity address (byte address divided by [`WORD_BYTES`]).
+///
+/// The functional (value-carrying) half of the simulator tracks memory
+/// contents at word granularity, because all workload stores are 64-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct WordAddr(u64);
+
+impl WordAddr {
+    /// Creates a word address from a raw word number.
+    #[must_use]
+    pub fn new(word_no: u64) -> Self {
+        assert!(
+            word_no < ADDR_END / WORD_BYTES,
+            "word {word_no:#x} outside simulated space"
+        );
+        WordAddr(word_no)
+    }
+
+    /// The raw word number.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this word.
+    #[must_use]
+    pub fn to_addr(self) -> Addr {
+        Addr(self.0 * WORD_BYTES)
+    }
+
+    /// The cache line containing this word.
+    #[must_use]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / WORDS_PER_LINE as u64)
+    }
+
+    /// The index of this word within its cache line.
+    #[must_use]
+    pub fn index_in_line(self) -> usize {
+        (self.0 % WORDS_PER_LINE as u64) as usize
+    }
+
+    /// Whether this word lies in the persistent NVM region.
+    #[must_use]
+    pub fn is_persistent(self) -> bool {
+        self.to_addr().is_persistent()
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_split() {
+        assert_eq!(Addr::new(0).region(), MemRegion::Dram);
+        assert_eq!(Addr::new(NVM_BASE - 1).region(), MemRegion::Dram);
+        assert_eq!(Addr::new(NVM_BASE).region(), MemRegion::Nvm);
+        assert!(Addr::nvm_base().is_persistent());
+    }
+
+    #[test]
+    fn line_and_word_round_trip() {
+        let a = Addr::new(NVM_BASE + 0x1238);
+        assert_eq!(a.line().to_addr().raw(), NVM_BASE + 0x1200);
+        assert_eq!(a.line_offset(), 0x38);
+        assert_eq!(a.word().to_addr().raw(), NVM_BASE + 0x1238);
+        assert_eq!(a.word().line(), a.line());
+        assert_eq!(a.word().index_in_line(), 7);
+    }
+
+    #[test]
+    fn line_words_cover_line() {
+        let l = Addr::new(0x80).line();
+        let words: Vec<_> = l.words().collect();
+        assert_eq!(words.len(), WORDS_PER_LINE);
+        assert_eq!(words[0].to_addr().raw(), 0x80);
+        assert_eq!(words[7].to_addr().raw(), 0x80 + 7 * WORD_BYTES);
+        for w in words {
+            assert_eq!(w.line(), l);
+        }
+    }
+
+    #[test]
+    fn index_and_tag_partition_line_number() {
+        let l = LineAddr::new(0xabcd);
+        let set_bits = 6;
+        let rebuilt = (l.tag_bits(set_bits) << set_bits) | l.index_bits(set_bits);
+        assert_eq!(rebuilt, l.raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside simulated space")]
+    fn out_of_space_panics() {
+        let _ = Addr::new(ADDR_END);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Addr::new(0x40)), "0x0000000040");
+        assert_eq!(format!("{}", MemRegion::Nvm), "NVM");
+        assert_eq!(format!("{}", LineAddr::new(1)), "L0x1");
+        assert_eq!(format!("{}", WordAddr::new(2)), "W0x2");
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+use std::error::Error;
+
+/// An invalid machine configuration was supplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a human-readable reason.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The reason the configuration was rejected.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A simulation could not run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration was rejected before the simulation started.
+    Config(ConfigError),
+    /// The simulation made no forward progress for too many cycles
+    /// (indicates a modelling deadlock, e.g. every LLC way pinned).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+        /// Component that reported the deadlock.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Deadlock { cycle, what } => {
+                write!(f, "simulation deadlock at cycle {cycle}: {what}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let c = ConfigError::new("zero ways");
+        assert_eq!(c.to_string(), "invalid configuration: zero ways");
+        let s = SimError::Deadlock {
+            cycle: 7,
+            what: "llc".into(),
+        };
+        assert_eq!(s.to_string(), "simulation deadlock at cycle 7: llc");
+    }
+
+    #[test]
+    fn sim_error_wraps_config_error() {
+        let e: SimError = ConfigError::new("bad").into();
+        assert!(matches!(e, SimError::Config(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<SimError>();
+    }
+}

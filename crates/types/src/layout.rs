@@ -1,0 +1,88 @@
+//! Fixed carve-up of the simulated physical address space.
+//!
+//! Both the workload heap and the persistence schemes must agree on where
+//! things live, so the layout is defined once here:
+//!
+//! ```text
+//! DRAM  [0,          8 GiB)   volatile heap (from VOLATILE_HEAP_BASE)
+//! NVM   [8 GiB,      +1 GiB)  per-core SP write-ahead-log areas
+//!       [9 GiB,      +1 GiB)  per-core hardware copy-on-write areas
+//!       [10 GiB,     16 GiB)  persistent heap (workload data structures)
+//! ```
+
+use crate::addr::Addr;
+
+/// Start of the volatile heap in DRAM (leaves page zero unused).
+#[must_use]
+pub fn volatile_heap_base() -> Addr {
+    Addr::new(1 << 20)
+}
+
+/// Bytes of log area reserved per core (16 MiB each).
+pub const LOG_AREA_BYTES_PER_CORE: u64 = 16 << 20;
+
+/// Start of `core`'s SP write-ahead-log area.
+///
+/// # Panics
+///
+/// Panics if `core >= 64` (the configured machine limit).
+#[must_use]
+pub fn log_area_base(core: usize) -> Addr {
+    assert!(core < 64, "core index out of range");
+    Addr::nvm_base().offset(core as u64 * LOG_AREA_BYTES_PER_CORE)
+}
+
+/// Bytes of copy-on-write area reserved per core (16 MiB each).
+pub const COW_AREA_BYTES_PER_CORE: u64 = 16 << 20;
+
+/// Start of `core`'s hardware copy-on-write fall-back area (TC overflow).
+///
+/// # Panics
+///
+/// Panics if `core >= 64`.
+#[must_use]
+pub fn cow_area_base(core: usize) -> Addr {
+    assert!(core < 64, "core index out of range");
+    Addr::nvm_base().offset((1 << 30) + core as u64 * COW_AREA_BYTES_PER_CORE)
+}
+
+/// Start of the persistent workload heap.
+#[must_use]
+pub fn persistent_heap_base() -> Addr {
+    Addr::nvm_base().offset(2 << 30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MemRegion;
+
+    #[test]
+    fn regions_are_consistent() {
+        assert_eq!(volatile_heap_base().region(), MemRegion::Dram);
+        assert_eq!(log_area_base(0).region(), MemRegion::Nvm);
+        assert_eq!(cow_area_base(63).region(), MemRegion::Nvm);
+        assert_eq!(persistent_heap_base().region(), MemRegion::Nvm);
+    }
+
+    #[test]
+    fn areas_do_not_overlap() {
+        // Last byte of the last log area is below the first COW area.
+        let log_end = log_area_base(63).raw() + LOG_AREA_BYTES_PER_CORE;
+        assert!(log_end <= cow_area_base(0).raw());
+        let cow_end = cow_area_base(63).raw() + COW_AREA_BYTES_PER_CORE;
+        assert!(cow_end <= persistent_heap_base().raw());
+    }
+
+    #[test]
+    fn per_core_areas_are_disjoint() {
+        assert_eq!(
+            log_area_base(1).raw() - log_area_base(0).raw(),
+            LOG_AREA_BYTES_PER_CORE
+        );
+        assert_eq!(
+            cow_area_base(2).raw() - cow_area_base(1).raw(),
+            COW_AREA_BYTES_PER_CORE
+        );
+    }
+}

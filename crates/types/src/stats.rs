@@ -1,0 +1,308 @@
+//! Small statistics primitives used throughout the simulator.
+
+use core::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_types::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one event.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+/// A hit/total ratio (e.g. cache miss rate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio.
+    #[must_use]
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one observation; `hit` selects the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator (events recorded with `hit == true`).
+    #[must_use]
+    pub fn hits(self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator (all recorded events).
+    #[must_use]
+    pub fn total(self) -> u64 {
+        self.total
+    }
+
+    /// The fraction of hits, or `0.0` when nothing was recorded.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// The complementary fraction (`1 - fraction`), or `0.0` when empty.
+    #[must_use]
+    pub fn complement(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.fraction()
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.fraction() * 100.0)
+    }
+}
+
+/// A latency histogram with power-of-two buckets plus exact sum/count/max,
+/// cheap enough to record every load.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_types::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(1);
+/// h.record(130);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max(), 130);
+/// assert!((h.mean() - 65.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; Histogram::BUCKETS],
+    sum: u64,
+    count: u64,
+    max: u64,
+}
+
+impl Histogram {
+    const BUCKETS: usize = 32;
+
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; Histogram::BUCKETS],
+            sum: 0,
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = (64 - value.leading_zeros()) as usize; // bucket = bit length
+        let b = b.min(Histogram::BUCKETS - 1);
+        self.buckets[b] += 1;
+        self.sum += value;
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (0.0..=1.0) using bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in 0..=1");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                // Upper bound of bucket i is 2^i - 1 (bucket 0 holds value 0).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_ratio() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(2);
+        assert_eq!(c.value(), 3);
+
+        let mut r = Ratio::new();
+        r.record(true);
+        r.record(false);
+        r.record(false);
+        assert_eq!(r.hits(), 1);
+        assert_eq!(r.total(), 3);
+        assert!((r.fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.complement() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(Ratio::new().fraction(), 0.0);
+        assert_eq!(Ratio::new().complement(), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.max(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p100 = h.quantile(1.0);
+        assert!(p50 <= p90 && p90 <= p100);
+        assert!((255..=1023).contains(&p50));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1010);
+    }
+
+    #[test]
+    fn histogram_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Functional data values.
+
+/// A 64-bit data word, the granularity at which the functional half of the
+/// simulator tracks memory contents (all workload key/value fields are
+/// 64-bit, matching the paper's benchmark description in §5.1).
+pub type Word = u64;

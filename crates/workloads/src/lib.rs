@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! NV-heaps-style workloads for the `pmacc` simulator (paper Table 3).
+//!
+//! Each benchmark is a *real* data-structure implementation operating on a
+//! simulated persistent heap through a [`MemSession`]: every pointer chase,
+//! key comparison and node update is executed functionally and recorded as
+//! a memory-trace [`pmacc_cpu::Op`], so the traces fed to the timing model
+//! have the genuine access patterns of the structures the paper names:
+//!
+//! | name        | description (Table 3)                              |
+//! |-------------|----------------------------------------------------|
+//! | `graph`     | Insert in an adjacency-list graph                  |
+//! | `rbtree`    | Search/insert nodes in a red-black tree            |
+//! | `sps`       | Randomly swap elements in an array                 |
+//! | `btree`     | Search/insert nodes in a B+tree                    |
+//! | `hashtable` | Search/insert a key-value pair in a hashtable      |
+//!
+//! All manipulated key-value fields are 64-bit, matching §5.1.
+//!
+//! # Example
+//!
+//! ```
+//! use pmacc_workloads::{build, WorkloadKind, WorkloadParams};
+//!
+//! let params = WorkloadParams::tiny(42);
+//! let w = build(WorkloadKind::Hashtable, &params);
+//! assert_eq!(w.trace.transactions(), params.num_ops as u64);
+//! w.trace.validate().expect("balanced transactions");
+//! ```
+
+mod btree;
+mod graph;
+mod hashtable;
+mod heap;
+mod queue;
+mod rbtree;
+mod session;
+mod skiplist;
+mod sps;
+mod suite;
+
+pub use btree::BPlusTree;
+pub use graph::AdjacencyGraph;
+pub use hashtable::HashTable;
+pub use heap::Heap;
+pub use queue::PersistentQueue;
+pub use rbtree::RbTree;
+pub use session::MemSession;
+pub use skiplist::{SkipList, MAX_LEVEL};
+pub use sps::SwapArray;
+pub use suite::{build, WorkloadKind, WorkloadParams, WorkloadTrace};

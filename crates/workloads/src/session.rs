@@ -1,0 +1,200 @@
+//! The recording memory session the data structures run on.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use pmacc_cpu::{Op, Trace};
+use pmacc_types::{layout, Addr, Word, WordAddr};
+
+use crate::heap::Heap;
+
+/// A functional memory plus trace recorder.
+///
+/// Data structures execute against the session's word-granularity memory;
+/// while recording is on, every access is also appended to the trace that
+/// the timing simulation later replays. Setup (building the initial
+/// structure) runs with recording *off*, and the memory image at
+/// [`MemSession::start_recording`] becomes the simulation's initial NVM/DRAM
+/// contents.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_workloads::MemSession;
+/// use pmacc_types::layout;
+///
+/// let mut s = MemSession::new(1);
+/// let a = s.alloc_p(8);
+/// s.write(a, 5); // setup, not recorded
+/// s.start_recording();
+/// let mut v = 0;
+/// s.tx(|s| {
+///     v = s.read(a);
+///     s.write(a, v + 1);
+/// });
+/// assert_eq!(v, 5);
+/// assert_eq!(s.peek(a), 6);
+/// assert_eq!(s.trace().transactions(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MemSession {
+    mem: HashMap<WordAddr, Word>,
+    initial: Vec<(WordAddr, Word)>,
+    trace: Trace,
+    recording: bool,
+    pheap: Heap,
+    vheap: Heap,
+    rng: SmallRng,
+}
+
+impl MemSession {
+    /// Creates a session with deterministic randomness from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        MemSession {
+            mem: HashMap::new(),
+            initial: Vec::new(),
+            trace: Trace::new(),
+            recording: false,
+            pheap: Heap::new(layout::persistent_heap_base(), 1 << 30),
+            vheap: Heap::new(layout::volatile_heap_base(), 1 << 30),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The session's random-number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Allocates `words` line-aligned words on the persistent heap.
+    #[must_use]
+    pub fn alloc_p(&mut self, words: u64) -> Addr {
+        self.pheap.alloc_words(words, 8)
+    }
+
+    /// Allocates `words` line-aligned words on the volatile heap.
+    #[must_use]
+    pub fn alloc_v(&mut self, words: u64) -> Addr {
+        self.vheap.alloc_words(words, 8)
+    }
+
+    /// Switches trace recording on, snapshotting the current memory as the
+    /// simulation's initial image.
+    pub fn start_recording(&mut self) {
+        self.initial = self.mem.iter().map(|(a, v)| (*a, *v)).collect();
+        self.recording = true;
+    }
+
+    /// Reads a 64-bit word (recorded as a load while recording).
+    pub fn read(&mut self, addr: Addr) -> Word {
+        if self.recording {
+            self.trace.push(Op::load(addr));
+        }
+        self.mem.get(&addr.word()).copied().unwrap_or(0)
+    }
+
+    /// Writes a 64-bit word (recorded as a store while recording).
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        if self.recording {
+            self.trace.push(Op::store(addr, value));
+        }
+        self.mem.insert(addr.word(), value);
+    }
+
+    /// Reads without recording (verification helpers).
+    #[must_use]
+    pub fn peek(&self, addr: Addr) -> Word {
+        self.mem.get(&addr.word()).copied().unwrap_or(0)
+    }
+
+    /// Records `n` ALU operations.
+    pub fn compute(&mut self, n: u32) {
+        if self.recording && n > 0 {
+            self.trace.push(Op::Compute(n));
+        }
+    }
+
+    /// Runs `f` inside a transaction (emits `TX_BEGIN`/`TX_END`).
+    pub fn tx<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        if self.recording {
+            self.trace.push(Op::TxBegin);
+        }
+        let r = f(self);
+        if self.recording {
+            self.trace.push(Op::TxEnd);
+        }
+        r
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the session, returning the trace, the initial image
+    /// (memory at [`MemSession::start_recording`]) and the final image.
+    #[must_use]
+    pub fn finish(self) -> (Trace, Vec<(WordAddr, Word)>, HashMap<WordAddr, Word>) {
+        (self.trace, self.initial, self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_is_not_recorded() {
+        let mut s = MemSession::new(0);
+        let a = s.alloc_p(8);
+        s.write(a, 1);
+        assert!(s.trace().is_empty());
+        s.start_recording();
+        s.write(a, 2);
+        assert_eq!(s.trace().len(), 1);
+    }
+
+    #[test]
+    fn initial_image_snapshots_setup_state() {
+        let mut s = MemSession::new(0);
+        let a = s.alloc_p(8);
+        s.write(a, 7);
+        s.start_recording();
+        s.write(a, 9);
+        let (_, initial, final_mem) = s.finish();
+        assert_eq!(initial, vec![(a.word(), 7)]);
+        assert_eq!(final_mem[&a.word()], 9);
+    }
+
+    #[test]
+    fn heaps_are_disjoint_regions() {
+        let mut s = MemSession::new(0);
+        assert!(s.alloc_p(8).is_persistent());
+        assert!(!s.alloc_v(8).is_persistent());
+    }
+
+    #[test]
+    fn reads_see_writes_in_program_order() {
+        let mut s = MemSession::new(0);
+        let a = s.alloc_p(8);
+        s.start_recording();
+        s.write(a, 3);
+        assert_eq!(s.read(a), 3);
+        s.write(a, 4);
+        assert_eq!(s.read(a), 4);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = MemSession::new(5);
+        let mut b = MemSession::new(5);
+        let x: u64 = a.rng().gen();
+        let y: u64 = b.rng().gen();
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests of the persistent data structures against reference
+//! implementations, exercised through the recording session.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+use pmacc_workloads::{BPlusTree, HashTable, MemSession, PersistentQueue, RbTree, SkipList, SwapArray};
+
+proptest! {
+    #[test]
+    fn rbtree_matches_btreemap(
+        ops in proptest::collection::vec((0u64..64, 0u64..1_000, any::<bool>()), 1..250),
+    ) {
+        let mut s = MemSession::new(1);
+        let t = RbTree::create(&mut s);
+        let mut reference = BTreeMap::new();
+        for (k, v, insert) in ops {
+            if insert {
+                t.insert(&mut s, k, v);
+                reference.insert(k, v);
+            } else {
+                prop_assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
+            }
+        }
+        t.check_invariants(&s).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(t.count(&s), reference.len() as u64);
+        for (k, v) in reference {
+            prop_assert_eq!(t.peek_get(&s, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn btree_matches_btreemap(
+        ops in proptest::collection::vec((0u64..64, 0u64..1_000, any::<bool>()), 1..250),
+    ) {
+        let mut s = MemSession::new(2);
+        let t = BPlusTree::create(&mut s);
+        let mut reference = BTreeMap::new();
+        for (k, v, insert) in ops {
+            if insert {
+                t.insert(&mut s, k, v);
+                reference.insert(k, v);
+            } else {
+                prop_assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
+            }
+        }
+        t.check_invariants(&s).map_err(TestCaseError::fail)?;
+        for (k, v) in reference {
+            prop_assert_eq!(t.peek_get(&s, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn hashtable_matches_hashmap(
+        buckets_log2 in 0u32..6,
+        ops in proptest::collection::vec((0u64..48, 0u64..1_000, any::<bool>()), 1..250),
+    ) {
+        let mut s = MemSession::new(3);
+        let t = HashTable::create(&mut s, 1 << buckets_log2);
+        let mut reference = HashMap::new();
+        for (k, v, insert) in ops {
+            if insert {
+                t.insert(&mut s, k, v);
+                reference.insert(k, v);
+            } else {
+                prop_assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
+            }
+        }
+        t.check(&s).map_err(TestCaseError::fail)?;
+        for (k, v) in reference {
+            prop_assert_eq!(t.peek(&s, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn swap_array_stays_a_permutation(
+        len in 2u64..64,
+        swaps in proptest::collection::vec((0u64..64, 0u64..64), 0..200),
+    ) {
+        let mut s = MemSession::new(4);
+        let a = SwapArray::create(&mut s, len);
+        let mut reference: Vec<u64> = (0..len).collect();
+        for (i, j) in swaps {
+            let (i, j) = (i % len, j % len);
+            a.swap(&mut s, i, j);
+            reference.swap(i as usize, j as usize);
+        }
+        a.check_permutation(&s).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(a.snapshot(&s), reference);
+    }
+
+    #[test]
+    fn skiplist_matches_btreemap(
+        ops in proptest::collection::vec((0u64..64, 0u64..1_000, any::<bool>()), 1..250),
+    ) {
+        let mut s = MemSession::new(6);
+        let sl = SkipList::create(&mut s);
+        let mut reference = BTreeMap::new();
+        for (k, v, insert) in ops {
+            if insert {
+                sl.insert(&mut s, k, v);
+                reference.insert(k, v);
+            } else {
+                prop_assert_eq!(sl.search(&mut s, k), reference.get(&k).copied());
+            }
+        }
+        sl.check_invariants(&s).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(sl.count(&s), reference.len() as u64);
+        for (k, v) in reference {
+            prop_assert_eq!(sl.peek_get(&s, k), Some(v));
+        }
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1_000), 1..300),
+    ) {
+        let mut s = MemSession::new(7);
+        let q = PersistentQueue::create(&mut s);
+        let mut reference = std::collections::VecDeque::new();
+        for (enq, v) in ops {
+            if enq {
+                q.enqueue(&mut s, v);
+                reference.push_back(v);
+            } else {
+                prop_assert_eq!(q.dequeue(&mut s), reference.pop_front());
+            }
+        }
+        q.check(&s).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(q.snapshot(&s), Vec::from(reference));
+    }
+
+    /// The trace-replay invariant at property scale: replaying the
+    /// recorded stores over the initial image reproduces the final image.
+    #[test]
+    fn trace_replay_reconstructs_memory(
+        ops in proptest::collection::vec((0u64..32, 0u64..100), 1..100),
+    ) {
+        use pmacc_cpu::Op;
+        let mut s = MemSession::new(5);
+        let t = RbTree::create(&mut s);
+        t.insert(&mut s, 1, 1); // some pre-recording state
+        s.start_recording();
+        for (k, v) in ops {
+            t.insert(&mut s, k, v);
+        }
+        let (trace, initial, final_image) = s.finish();
+        let mut mem: HashMap<_, _> = initial.into_iter().collect();
+        for op in trace.ops() {
+            if let Op::Store { addr, value } = op {
+                mem.insert(addr.word(), *value);
+            }
+        }
+        prop_assert_eq!(mem, final_image);
+    }
+}

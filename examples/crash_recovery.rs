@@ -1,0 +1,64 @@
+//! Crash a machine mid-run and watch each scheme recover (or fail to).
+//!
+//! Runs the same red-black-tree workload under all four schemes, cuts the
+//! power at the same fraction of execution, runs the scheme's recovery
+//! procedure, and checks the result against the committed-transaction
+//! oracle — demonstrating the multi-versioning + write-order-control
+//! guarantee of §3, and its absence in the Optimal baseline.
+//!
+//! ```text
+//! cargo run --release -p pmacc --example crash_recovery
+//! ```
+
+use std::error::Error;
+
+use pmacc::recovery::{check_recovery, recover};
+use pmacc::{RunConfig, System};
+use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let params = WorkloadParams {
+        num_ops: 400,
+        setup_items: 2_000,
+        key_space: 4_000,
+        insert_ratio: 80,
+        seed: 99,
+    };
+
+    for scheme in [
+        SchemeKind::Sp,
+        SchemeKind::TxCache,
+        SchemeKind::NvLlc,
+        SchemeKind::Optimal,
+    ] {
+        let machine = MachineConfig::small().with_scheme(scheme);
+        // Measure the full run length first, then crash at 40% of it.
+        let total = {
+            let mut sys =
+                System::for_workload(machine.clone(), WorkloadKind::Rbtree, &params, &RunConfig::default())?;
+            sys.run()?.cycles
+        };
+        let crash_at = (total * 2) / 5;
+
+        let mut sys =
+            System::for_workload(machine, WorkloadKind::Rbtree, &params, &RunConfig::default())?;
+        sys.run_until(crash_at)?;
+        let committed_at_crash: u64 = sys.journal().len() as u64;
+        let state = sys.crash_state();
+        let recovered = recover(&state);
+
+        print!(
+            "{scheme:>8}: crashed at cycle {crash_at} with {committed_at_crash} committed tx -> "
+        );
+        match check_recovery(&state, &recovered) {
+            Ok(()) => println!("recovered consistently (all committed tx present, no torn tx)"),
+            Err(e) => println!("INCONSISTENT: {e}"),
+        }
+    }
+    println!(
+        "\nThe three persistence schemes recover every committed transaction \
+         atomically;\nOptimal (no persistence support) is expected to be inconsistent."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build the paper's machine, run one workload under the
+//! transaction-cache scheme, and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release -p pmacc --example quickstart
+//! ```
+
+use std::error::Error;
+
+use pmacc::{RunConfig, System};
+use pmacc_cpu::StallKind;
+use pmacc_types::{MachineConfig, SchemeKind, WriteCause};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The Table 2 machine, capacity-scaled to match short simulated runs
+    // (use MachineConfig::dac17() for the full-size caches).
+    let machine = MachineConfig::dac17_scaled().with_scheme(SchemeKind::TxCache);
+
+    // One hashtable instance per core, 2 000 search/insert transactions
+    // each, deterministic under the seed.
+    let mut params = WorkloadParams::evaluation(7);
+    params.num_ops = 2_000;
+
+    let mut system = System::for_workload(
+        machine,
+        WorkloadKind::Hashtable,
+        &params,
+        &RunConfig::default(),
+    )?;
+    let report = system.run()?;
+
+    println!("scheme               : {}", report.scheme);
+    println!("cycles               : {}", report.cycles);
+    println!("committed tx         : {}", report.total_committed());
+    println!("IPC                  : {:.4}", report.ipc());
+    println!("tx throughput        : {:.6} tx/cycle", report.throughput());
+    println!("LLC miss rate        : {:.2}%", report.llc_miss_rate() * 100.0);
+    println!(
+        "NVM writes           : {} ({} from the transaction cache)",
+        report.nvm_write_traffic(),
+        report.nvm_writes_by(WriteCause::TxCacheDrain)
+    );
+    println!(
+        "persistent load lat. : {:.1} cycles",
+        report.persistent_load_latency()
+    );
+    println!(
+        "TC-full stalls       : {:.4}% of time, {} COW overflows",
+        report.stall_fraction(StallKind::TxCacheFull) * 100.0,
+        report.tc_overflows()
+    );
+    println!(
+        "LLC evictions dropped: {} (the §3 'dropped writes' path)",
+        report.dropped_llc_writes
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Compare all four persistence schemes on one workload — a miniature of
+//! the paper's Figures 6–10.
+//!
+//! ```text
+//! cargo run --release -p pmacc --example scheme_comparison [workload]
+//! ```
+//!
+//! `workload` is one of `graph`, `rbtree`, `sps`, `btree`, `hashtable`
+//! (default `btree`).
+
+use std::error::Error;
+
+use pmacc::{RunConfig, RunReport, System};
+use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let kind: WorkloadKind = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(WorkloadKind::Btree);
+
+    let mut params = WorkloadParams::evaluation(11);
+    params.num_ops = 2_000;
+
+    println!("workload: {kind} — {}", kind.description());
+    println!(
+        "{:>8} | {:>9} | {:>10} | {:>9} | {:>10} | {:>10}",
+        "scheme", "IPC", "tx/kcycle", "LLC miss", "NVM writes", "p-load lat"
+    );
+
+    let mut optimal: Option<RunReport> = None;
+    for scheme in [
+        SchemeKind::Optimal,
+        SchemeKind::Sp,
+        SchemeKind::TxCache,
+        SchemeKind::NvLlc,
+    ] {
+        let machine = MachineConfig::dac17_scaled().with_scheme(scheme);
+        let mut sys = System::for_workload(machine, kind, &params, &RunConfig::default())?;
+        let r = sys.run()?;
+        println!(
+            "{:>8} | {:>9.4} | {:>10.4} | {:>8.2}% | {:>10} | {:>10.1}",
+            scheme.to_string(),
+            r.ipc(),
+            r.throughput() * 1000.0,
+            r.llc_miss_rate() * 100.0,
+            r.nvm_write_traffic(),
+            r.persistent_load_latency(),
+        );
+        if scheme == SchemeKind::Optimal {
+            optimal = Some(r);
+        } else if let Some(base) = &optimal {
+            println!(
+                "{:>8} | {:>9.3} | {:>10.3} | {:>9.3} | {:>10.3} | {:>10.3}  (vs optimal)",
+                "",
+                r.ipc() / base.ipc(),
+                r.throughput() / base.throughput(),
+                r.llc_miss_rate() / base.llc_miss_rate(),
+                r.nvm_write_traffic() as f64 / base.nvm_write_traffic().max(1) as f64,
+                r.persistent_load_latency() / base.persistent_load_latency(),
+            );
+        }
+    }
+    Ok(())
+}

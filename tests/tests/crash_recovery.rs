@@ -1,0 +1,159 @@
+//! End-to-end crash-consistency tests: run each scheme on real workloads,
+//! cut the power at many points, run the scheme's recovery procedure and
+//! check the result is transaction-atomic and durable.
+
+use pmacc::recovery::{check_recovery, recover};
+use pmacc::{RunConfig, System};
+use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+fn machine(scheme: SchemeKind) -> MachineConfig {
+    MachineConfig::small().with_scheme(scheme)
+}
+
+fn crash_points(total: u64) -> Vec<u64> {
+    // A spread of crash points including awkward early/late ones.
+    vec![
+        1,
+        total / 7,
+        total / 3,
+        total / 2,
+        (total * 2) / 3,
+        (total * 9) / 10,
+        total + 1_000_000, // after quiescence
+    ]
+}
+
+fn total_cycles(scheme: SchemeKind, kind: WorkloadKind, seed: u64) -> u64 {
+    let mut sys = System::for_workload(
+        machine(scheme),
+        kind,
+        &WorkloadParams::tiny(seed),
+        &RunConfig::default(),
+    )
+    .expect("system builds");
+    let report = sys.run().expect("runs to completion");
+    report.cycles
+}
+
+fn check_scheme_recovers(scheme: SchemeKind, kind: WorkloadKind, seed: u64) {
+    let total = total_cycles(scheme, kind, seed);
+    for crash_at in crash_points(total) {
+        let mut sys = System::for_workload(
+            machine(scheme),
+            kind,
+            &WorkloadParams::tiny(seed),
+            &RunConfig::default(),
+        )
+        .expect("system builds");
+        sys.run_until(crash_at).expect("partial run");
+        let state = sys.crash_state();
+        let recovered = recover(&state);
+        check_recovery(&state, &recovered).unwrap_or_else(|e| {
+            panic!("{scheme}/{kind} crash@{crash_at}: {e}");
+        });
+    }
+}
+
+#[test]
+fn tc_recovers_every_workload() {
+    for kind in WorkloadKind::all() {
+        check_scheme_recovers(SchemeKind::TxCache, kind, 11);
+    }
+}
+
+#[test]
+fn sp_recovers_every_workload() {
+    for kind in WorkloadKind::all() {
+        check_scheme_recovers(SchemeKind::Sp, kind, 12);
+    }
+}
+
+#[test]
+fn nvllc_recovers_every_workload() {
+    for kind in WorkloadKind::all() {
+        check_scheme_recovers(SchemeKind::NvLlc, kind, 13);
+    }
+}
+
+#[test]
+fn tc_recovers_under_overflow_pressure() {
+    // A machine with a tiny transaction cache so the COW fall-back path is
+    // exercised (rbtree inserts easily exceed 4 entries).
+    let mut cfg = machine(SchemeKind::TxCache);
+    cfg.txcache.size_bytes = 4 * 64;
+    let total = {
+        let mut sys = System::for_workload(
+            cfg.clone(),
+            WorkloadKind::Rbtree,
+            &WorkloadParams::tiny(7),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let r = sys.run().unwrap();
+        assert!(r.tc_overflows() > 0, "overflow path must trigger");
+        r.cycles
+    };
+    for crash_at in crash_points(total) {
+        let mut sys = System::for_workload(
+            cfg.clone(),
+            WorkloadKind::Rbtree,
+            &WorkloadParams::tiny(7),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        sys.run_until(crash_at).unwrap();
+        let state = sys.crash_state();
+        let recovered = recover(&state);
+        check_recovery(&state, &recovered)
+            .unwrap_or_else(|e| panic!("overflow crash@{crash_at}: {e}"));
+    }
+}
+
+#[test]
+fn optimal_is_not_crash_consistent() {
+    // Without persistence support, some crash point must leave the NVM
+    // torn relative to the committed-transaction expectation.
+    let total = total_cycles(SchemeKind::Optimal, WorkloadKind::Sps, 3);
+    let mut any_violation = false;
+    for crash_at in (1..10).map(|i| i * total / 10) {
+        let mut sys = System::for_workload(
+            machine(SchemeKind::Optimal),
+            WorkloadKind::Sps,
+            &WorkloadParams::tiny(3),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        sys.run_until(crash_at).unwrap();
+        let state = sys.crash_state();
+        let recovered = recover(&state);
+        if check_recovery(&state, &recovered).is_err() {
+            any_violation = true;
+            break;
+        }
+    }
+    assert!(
+        any_violation,
+        "Optimal should violate crash consistency at some crash point"
+    );
+}
+
+#[test]
+fn recovery_after_quiescence_matches_final_state() {
+    // Once everything drained, the recovered image must equal the full
+    // committed state for every persistent scheme.
+    for scheme in [SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc] {
+        let mut sys = System::for_workload(
+            machine(scheme),
+            WorkloadKind::Btree,
+            &WorkloadParams::tiny(5),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let report = sys.run().unwrap();
+        assert!(report.total_committed() > 0);
+        let state = sys.crash_state();
+        let recovered = recover(&state);
+        check_recovery(&state, &recovered).expect("quiescent recovery is exact");
+    }
+}

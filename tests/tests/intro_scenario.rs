@@ -1,0 +1,155 @@
+//! The paper's introduction scenario, end to end: inserting nodes into a
+//! persistent linked list, then crashing. Without persistence support the
+//! reordered write-backs leave dangling pointers; the transaction cache
+//! keeps the structure consistent at every crash point.
+
+use pmacc::recovery::recover;
+use pmacc::{RunConfig, System};
+use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_workloads::{MemSession, PersistentQueue};
+
+fn queue_setup(enqueues: u64) -> (pmacc_cpu::Trace, Vec<(pmacc_types::WordAddr, u64)>, PersistentQueue) {
+    let mut s = MemSession::new(5);
+    let q = PersistentQueue::create(&mut s);
+    s.start_recording();
+    for v in 0..enqueues {
+        q.enqueue(&mut s, v + 1);
+        if v % 3 == 2 {
+            let _ = q.dequeue(&mut s);
+        }
+    }
+    let (trace, initial, _) = s.finish();
+    (trace, initial, q)
+}
+
+fn crash_points(total: u64, n: u64) -> impl Iterator<Item = u64> {
+    (1..=n).map(move |i| i * total / (n + 1))
+}
+
+fn machine(scheme: SchemeKind) -> MachineConfig {
+    let mut cfg = MachineConfig::small().with_scheme(scheme);
+    cfg.cores = 1;
+    cfg
+}
+
+/// A machine with enough cache pressure that write-backs actually reach
+/// the NVM out of order — the paper's reordering precondition. Without
+/// evictions, Optimal trivially "survives" crashes by losing everything.
+fn pressured(scheme: SchemeKind) -> MachineConfig {
+    let mut cfg = machine(scheme);
+    cfg.l1 = pmacc_types::CacheConfig::new(1024, 2, 0.5); // 8 sets x 2
+    cfg.l2 = pmacc_types::CacheConfig::new(2048, 2, 4.5);
+    cfg.llc = pmacc_types::CacheConfig::new(4096, 2, 10.0); // 64 lines
+    cfg
+}
+
+#[test]
+fn tc_never_leaves_a_dangling_pointer() {
+    let (trace, initial, q) = queue_setup(120);
+    let total = {
+        let mut sys =
+            System::new(machine(SchemeKind::TxCache), vec![trace.clone()], &initial, &RunConfig::default())
+                .unwrap();
+        sys.run().unwrap().cycles
+    };
+    for crash in crash_points(total, 24) {
+        let mut sys =
+            System::new(machine(SchemeKind::TxCache), vec![trace.clone()], &initial, &RunConfig::default())
+                .unwrap();
+        sys.run_until(crash).unwrap();
+        let state = sys.crash_state();
+        let img = recover(&state);
+        q.check_image(&|a| img.read_word(a.word()))
+            .unwrap_or_else(|e| panic!("crash@{crash}: recovered list corrupt: {e}"));
+    }
+}
+
+#[test]
+fn optimal_tears_the_list_at_some_crash_point() {
+    let (trace, initial, q) = queue_setup(400);
+    let total = {
+        let mut sys = System::new(
+            pressured(SchemeKind::Optimal),
+            vec![trace.clone()],
+            &initial,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        sys.run().unwrap().cycles
+    };
+    let mut torn = false;
+    for crash in crash_points(total, 60) {
+        let mut sys = System::new(
+            pressured(SchemeKind::Optimal),
+            vec![trace.clone()],
+            &initial,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        sys.run_until(crash).unwrap();
+        let state = sys.crash_state();
+        let img = recover(&state);
+        if q.check_image(&|a| img.read_word(a.word())).is_err() {
+            torn = true;
+            break;
+        }
+    }
+    assert!(
+        torn,
+        "without persistence support, some crash point must corrupt the list"
+    );
+}
+
+#[test]
+fn tc_protects_the_list_even_under_cache_pressure() {
+    // The same pressured machine that tears Optimal: the TC scheme drops
+    // the reordered write-backs and persists through its own FIFO.
+    let (trace, initial, q) = queue_setup(400);
+    let total = {
+        let mut sys = System::new(
+            pressured(SchemeKind::TxCache),
+            vec![trace.clone()],
+            &initial,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        sys.run().unwrap().cycles
+    };
+    for crash in crash_points(total, 20) {
+        let mut sys = System::new(
+            pressured(SchemeKind::TxCache),
+            vec![trace.clone()],
+            &initial,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        sys.run_until(crash).unwrap();
+        let state = sys.crash_state();
+        let img = recover(&state);
+        q.check_image(&|a| img.read_word(a.word()))
+            .unwrap_or_else(|e| panic!("crash@{crash}: {e}"));
+    }
+}
+
+#[test]
+fn sp_and_nvllc_also_protect_the_list() {
+    let (trace, initial, q) = queue_setup(60);
+    for scheme in [SchemeKind::Sp, SchemeKind::NvLlc] {
+        let total = {
+            let mut sys =
+                System::new(machine(scheme), vec![trace.clone()], &initial, &RunConfig::default())
+                    .unwrap();
+            sys.run().unwrap().cycles
+        };
+        for crash in crash_points(total, 8) {
+            let mut sys =
+                System::new(machine(scheme), vec![trace.clone()], &initial, &RunConfig::default())
+                    .unwrap();
+            sys.run_until(crash).unwrap();
+            let state = sys.crash_state();
+            let img = recover(&state);
+            q.check_image(&|a| img.read_word(a.word()))
+                .unwrap_or_else(|e| panic!("{scheme} crash@{crash}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based crash-consistency fuzzing: random workloads, random
+//! crash points, every persistent scheme — recovery must always be
+//! transaction-atomic and durable.
+
+use proptest::prelude::*;
+
+use pmacc::recovery::{check_recovery, recover};
+use pmacc::{RunConfig, System};
+use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Sp),
+        Just(SchemeKind::TxCache),
+        Just(SchemeKind::NvLlc),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadKind> {
+    prop_oneof![
+        Just(WorkloadKind::Graph),
+        Just(WorkloadKind::Rbtree),
+        Just(WorkloadKind::Sps),
+        Just(WorkloadKind::Btree),
+        Just(WorkloadKind::Hashtable),
+    ]
+}
+
+fn build(scheme: SchemeKind, kind: WorkloadKind, seed: u64, tiny_tc: bool) -> System {
+    let mut cfg = MachineConfig::small().with_scheme(scheme);
+    if tiny_tc {
+        // Force the overflow/COW path to fire constantly.
+        cfg.txcache.size_bytes = 4 * 64;
+    }
+    // High-conflict parameters: few keys, so transactions rewrite the
+    // same words over and over (stresses ordering of replay paths).
+    let params = WorkloadParams {
+        num_ops: 40,
+        setup_items: 32,
+        key_space: 24,
+        insert_ratio: 80,
+        seed,
+    };
+    System::for_workload(cfg, kind, &params, &RunConfig::default()).expect("system builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        // 24 cases by default (each runs two full simulations); override
+        // with PMACC_FUZZ_CASES for deeper soak runs.
+        cases: std::env::var("PMACC_FUZZ_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(24),
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn recovery_is_always_consistent(
+        scheme in scheme_strategy(),
+        kind in workload_strategy(),
+        seed in 0u64..1_000,
+        crash_frac in 0.01f64..1.2,
+        tiny_tc in any::<bool>(),
+    ) {
+        let total = {
+            let mut sys = build(scheme, kind, seed, tiny_tc);
+            sys.run().expect("full run").cycles
+        };
+        let crash_at = ((total as f64) * crash_frac) as u64;
+        let mut sys = build(scheme, kind, seed, tiny_tc);
+        sys.run_until(crash_at).expect("partial run");
+        let state = sys.crash_state();
+        let recovered = recover(&state);
+        if let Err(e) = check_recovery(&state, &recovered) {
+            panic!("{scheme}/{kind} seed {seed} crash@{crash_at} (tiny_tc={tiny_tc}): {e}");
+        }
+    }
+}
