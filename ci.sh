@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command, fully offline.
+#
+# The workspace has zero external dependencies, so every step below must
+# succeed without registry or network access; --offline makes any
+# accidental reintroduction of an external crate fail loudly here.
+#
+# Knobs (all optional):
+#   PMACC_PROP_CASES=N   property-test cases per property (default 64)
+#   PMACC_FUZZ_CASES=N   crash-recovery fuzz cases (default 24)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo clippy --all-targets --offline -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -1,14 +1,15 @@
 //! Ablation benches (DESIGN.md A–E): prints each ablation table at quick
 //! scale and times one representative configuration per ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmacc_bench::bench_main;
+use pmacc_bench::harness::Harness;
 
 use pmacc_bench::figures;
 use pmacc_bench::grid::{run_cell, Scale};
 use pmacc_types::SchemeKind;
 use pmacc_workloads::WorkloadKind;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     for (name, table) in [
         ("A (TC size)", figures::ablation_txcache_size(Scale::Quick, 42)),
         ("B (overflow)", figures::ablation_overflow(Scale::Quick, 42)),
@@ -45,5 +46,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_main!(bench);

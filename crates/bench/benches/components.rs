@@ -1,7 +1,8 @@
 //! Microbenchmarks of the simulator's hot components: transaction-cache
 //! CAM operations, cache-hierarchy accesses and the memory controller.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmacc_bench::bench_main;
+use pmacc_bench::harness::Harness;
 
 use pmacc::TxCache;
 use pmacc_cache::{Access, Hierarchy, HierarchyOpts};
@@ -11,7 +12,7 @@ use pmacc_types::{
     WriteCause,
 };
 
-fn bench_txcache(c: &mut Criterion) {
+fn bench_txcache(c: &mut Harness) {
     let cfg = TxCacheConfig::dac17();
     c.bench_function("txcache_insert_commit_drain", |b| {
         b.iter(|| {
@@ -40,7 +41,7 @@ fn bench_txcache(c: &mut Criterion) {
     });
 }
 
-fn bench_hierarchy(c: &mut Criterion) {
+fn bench_hierarchy(c: &mut Harness) {
     c.bench_function("hierarchy_access_stream", |b| {
         let mut h = Hierarchy::new(
             1,
@@ -59,7 +60,7 @@ fn bench_hierarchy(c: &mut Criterion) {
     });
 }
 
-fn bench_memctrl(c: &mut Criterion) {
+fn bench_memctrl(c: &mut Harness) {
     c.bench_function("memctrl_enqueue_advance", |b| {
         let mut ctrl = MemController::new(
             MemRegion::Nvm,
@@ -87,5 +88,4 @@ fn bench_memctrl(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_txcache, bench_hierarchy, bench_memctrl);
-criterion_main!(benches);
+bench_main!(bench_txcache, bench_hierarchy, bench_memctrl);

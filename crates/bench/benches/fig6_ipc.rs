@@ -4,14 +4,15 @@
 //! Regenerate the figure itself with
 //! `cargo run --release -p pmacc-bench --bin reproduce -- fig6`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmacc_bench::bench_main;
+use pmacc_bench::harness::Harness;
 
 use pmacc_bench::figures;
 use pmacc_bench::grid::{run_cell, run_grid, Scale};
 use pmacc_types::SchemeKind;
 use pmacc_workloads::WorkloadKind;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     // Print the reduced-scale figure once so `cargo bench` reproduces the
     // rows alongside the timing numbers.
     let grid = run_grid(Scale::Quick, 42, false).expect("grid runs");
@@ -36,5 +37,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_main!(bench);

@@ -3,14 +3,15 @@
 //! Regenerate the figure with
 //! `cargo run --release -p pmacc-bench --bin reproduce -- fig7`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmacc_bench::bench_main;
+use pmacc_bench::harness::Harness;
 
 use pmacc_bench::figures;
 use pmacc_bench::grid::{run_cell, run_grid, Scale};
 use pmacc_types::SchemeKind;
 use pmacc_workloads::WorkloadKind;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let grid = run_grid(Scale::Quick, 42, false).expect("grid runs");
     println!("\n{}", figures::fig7(&grid));
 
@@ -33,5 +34,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_main!(bench);

@@ -2,14 +2,15 @@
 //! overhead calculator (trivially fast; included so every paper table has
 //! a bench target).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmacc_bench::bench_main;
+use pmacc_bench::harness::Harness;
 
 use pmacc::hwcost::HwOverhead;
 use pmacc_bench::figures;
 use pmacc_bench::grid::Scale;
 use pmacc_types::MachineConfig;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let machine = MachineConfig::dac17();
     println!("\n{}", figures::table1(&machine));
     println!("{}", figures::table2(&machine));
@@ -23,5 +24,4 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_main!(bench);

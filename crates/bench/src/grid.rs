@@ -12,7 +12,7 @@ use pmacc_workloads::{WorkloadKind, WorkloadParams};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// ~1k transactions per core: seconds per grid, for smoke runs and
-    /// criterion benches.
+    /// the timing-harness benches.
     Quick,
     /// ~5k transactions per core: a couple of minutes for the full grid.
     #[default]

@@ -14,6 +14,7 @@
 
 pub mod figures;
 pub mod grid;
+pub mod harness;
 pub mod table;
 
 pub use grid::{run_grid, GridResults, Scale};

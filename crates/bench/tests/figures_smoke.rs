@@ -1,5 +1,5 @@
 //! Smoke tests of the figure/table renderers (the full grid is exercised
-//! by the reproduce binary and the criterion benches).
+//! by the reproduce binary and the bench targets).
 
 use pmacc_bench::figures;
 use pmacc_bench::grid::Scale;

@@ -1,7 +1,6 @@
 //! Property tests of the cache hierarchy: inclusion, write-back
 //! conservation and pin behaviour under random access streams.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 use pmacc_cache::{Access, Hierarchy, HierarchyOpts};
@@ -23,19 +22,28 @@ fn nvm_line(i: u64) -> LineAddr {
     LineAddr::new(Addr::nvm_base().line().raw() + i)
 }
 
-proptest! {
-    /// L1 ⊆ L2 ⊆ LLC after any access stream, and a dirtied line is
-    /// either still cached or was reported exactly once as an eviction.
-    #[test]
-    fn inclusion_and_writeback_conservation(
-        accesses in proptest::collection::vec((0usize..2, 0u64..64, any::<bool>()), 1..400),
-    ) {
+/// L1 ⊆ L2 ⊆ LLC after any access stream, and a dirtied line is
+/// either still cached or was reported exactly once as an eviction.
+#[test]
+fn inclusion_and_writeback_conservation() {
+    pmacc_prop::check("inclusion_and_writeback_conservation", |g| {
+        let accesses = g.vec(1..400, |g| {
+            (
+                g.gen_range(0usize..2),
+                g.gen_range(0u64..64),
+                g.gen::<bool>(),
+            )
+        });
         let mut h = hierarchy(false);
         let mut dirtied: HashSet<LineAddr> = HashSet::new();
         let mut evicted_dirty: Vec<LineAddr> = Vec::new();
         for (core, line_no, write) in accesses {
             let line = nvm_line(line_no);
-            let acc = if write { Access::store(line) } else { Access::load(line) };
+            let acc = if write {
+                Access::store(line)
+            } else {
+                Access::load(line)
+            };
             let out = h.access(core, acc).expect("no pinning configured");
             if write {
                 dirtied.insert(line);
@@ -49,36 +57,33 @@ proptest! {
         // Inclusion.
         for core in 0..2 {
             for (line, _) in h.l1(core).iter_valid() {
-                prop_assert!(h.l2(core).contains(line), "L1 ⊆ L2 violated at {line}");
-                prop_assert!(h.llc().contains(line), "L1 ⊆ LLC violated at {line}");
+                assert!(h.l2(core).contains(line), "L1 ⊆ L2 violated at {line}");
+                assert!(h.llc().contains(line), "L1 ⊆ LLC violated at {line}");
             }
             for (line, _) in h.l2(core).iter_valid() {
-                prop_assert!(h.llc().contains(line), "L2 ⊆ LLC violated at {line}");
+                assert!(h.llc().contains(line), "L2 ⊆ LLC violated at {line}");
             }
         }
         // Conservation: every dirtied line is cached-dirty somewhere or
         // among the dirty evictions (no lost write-backs). A line can be
         // evicted dirty and re-dirtied, so membership (not counts) is
         // checked.
-        let resident: HashSet<LineAddr> = h
-            .llc()
-            .iter_valid()
-            .map(|(l, _)| l)
-            .collect();
+        let resident: HashSet<LineAddr> = h.llc().iter_valid().map(|(l, _)| l).collect();
         for line in dirtied {
-            prop_assert!(
+            assert!(
                 resident.contains(&line) || evicted_dirty.contains(&line),
                 "dirty line {line} vanished without a write-back"
             );
         }
-    }
+    });
+}
 
-    /// Under NVLLC pinning, pinned lines are never reported as evictions,
-    /// and unpinning makes a blocked set usable again.
-    #[test]
-    fn pinned_lines_never_evict(
-        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..300),
-    ) {
+/// Under NVLLC pinning, pinned lines are never reported as evictions,
+/// and unpinning makes a blocked set usable again.
+#[test]
+fn pinned_lines_never_evict() {
+    pmacc_prop::check("pinned_lines_never_evict", |g| {
+        let accesses = g.vec(1..300, |g| (g.gen_range(0u64..64), g.gen::<bool>()));
         let mut h = hierarchy(true);
         let tx = TxId::new(0, 1);
         let mut pinned_candidates: HashSet<LineAddr> = HashSet::new();
@@ -93,7 +98,7 @@ proptest! {
             match h.access(0, acc) {
                 Ok(out) => {
                     for ev in out.evictions {
-                        prop_assert!(
+                        assert!(
                             !(ev.dirty && ev.tx == Some(tx)),
                             "uncommitted transactional line {} evicted",
                             ev.line
@@ -106,18 +111,19 @@ proptest! {
                     let victim = h
                         .force_unpin_for(e.line)
                         .expect("a pinned victim exists in a blocked set");
-                    prop_assert!(pinned_candidates.contains(&victim));
-                    prop_assert!(h.access(0, Access::load(e.line)).is_ok());
+                    assert!(pinned_candidates.contains(&victim));
+                    assert!(h.access(0, Access::load(e.line)).is_ok());
                 }
             }
         }
-    }
+    });
+}
 
-    /// flush_line is idempotent and never leaves a dirty copy behind.
-    #[test]
-    fn flush_line_cleans(
-        lines in proptest::collection::vec(0u64..32, 1..100),
-    ) {
+/// flush_line is idempotent and never leaves a dirty copy behind.
+#[test]
+fn flush_line_cleans() {
+    pmacc_prop::check("flush_line_cleans", |g| {
+        let lines = g.vec(1..100, |g| g.gen_range(0u64..32));
         let mut h = hierarchy(false);
         for line_no in &lines {
             let line = nvm_line(*line_no);
@@ -126,12 +132,12 @@ proptest! {
         for line_no in lines {
             let line = nvm_line(line_no);
             h.flush_line(0, line);
-            prop_assert!(!h.flush_line(0, line), "second flush finds no dirt");
+            assert!(!h.flush_line(0, line), "second flush finds no dirt");
             for arr in [h.l1(0), h.l2(0), h.llc()] {
                 if let Some(l) = arr.peek(line) {
-                    prop_assert!(!l.state.is_dirty());
+                    assert!(!l.state.is_dirty());
                 }
             }
         }
-    }
+    });
 }

@@ -1,6 +1,6 @@
 //! Property tests of the transaction-cache (CAM FIFO) state machine.
 
-use proptest::prelude::*;
+use pmacc_prop::Gen;
 
 use pmacc::{EntryState, TxCache};
 use pmacc_types::{Addr, TxCacheConfig, TxId, WordAddr};
@@ -17,26 +17,25 @@ enum TcOp {
     Ack,
 }
 
-fn op_strategy() -> impl Strategy<Value = TcOp> {
-    prop_oneof![
-        3 => (0u8..32).prop_map(TcOp::Insert),
-        1 => Just(TcOp::Commit),
-        2 => Just(TcOp::Issue),
-        2 => Just(TcOp::Ack),
-    ]
+fn arb_op(g: &mut Gen) -> TcOp {
+    match g.weighted(&[3, 1, 2, 2]) {
+        0 => TcOp::Insert(g.gen_range(0u8..32)),
+        1 => TcOp::Commit,
+        2 => TcOp::Issue,
+        _ => TcOp::Ack,
+    }
 }
 
 fn word(i: u8) -> WordAddr {
     Addr::nvm_base().offset(u64::from(i) * 64).word()
 }
 
-proptest! {
-    #[test]
-    fn fifo_invariants_hold(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-        entries in 2u64..32,
-        coalesce in any::<bool>(),
-    ) {
+#[test]
+fn fifo_invariants_hold() {
+    pmacc_prop::check("fifo_invariants_hold", |g| {
+        let ops = g.vec(1..200, arb_op);
+        let entries = g.gen_range(2u64..32);
+        let coalesce = g.gen::<bool>();
         let cfg = TxCacheConfig {
             size_bytes: entries * 64,
             coalesce,
@@ -57,57 +56,60 @@ proptest! {
                     let before = tc.occupancy();
                     match tc.insert(tx, word(w), u64::from(w)) {
                         Ok(()) => {
-                            prop_assert!(tc.occupancy() >= before);
+                            assert!(tc.occupancy() >= before);
                             if tc.occupancy() > before {
                                 active_insertion.push(word(w));
                             }
                         }
                         Err(_) => {
-                            prop_assert!(tc.is_full(), "reject only when full");
+                            assert!(tc.is_full(), "reject only when full");
                         }
                     }
                 }
                 TcOp::Commit => {
                     let n = tc.commit(tx);
-                    prop_assert_eq!(n, active_insertion.len(), "commit matches all active");
+                    assert_eq!(n, active_insertion.len(), "commit matches all active");
                     committed_insertion.extend(active_insertion.drain(..));
                     serial += 1;
                     tx = TxId::new(0, serial);
-                    prop_assert_eq!(tc.active_entries(), 0);
+                    assert_eq!(tc.active_entries(), 0);
                 }
                 TcOp::Issue => {
                     if let Some((slot, entry)) = tc.next_issue() {
                         // FIFO: must be the oldest committed unissued entry.
                         let expect = committed_insertion.pop_front().expect("tracked entry");
-                        prop_assert_eq!(entry.line, expect.line(), "issue in insertion order");
-                        prop_assert_eq!(entry.state, EntryState::Committed);
-                        prop_assert!(!entry.issued);
+                        assert_eq!(entry.line, expect.line(), "issue in insertion order");
+                        assert_eq!(entry.state, EntryState::Committed);
+                        assert!(!entry.issued);
                         tc.mark_issued(slot);
                         issued.push_back(slot);
                     } else {
-                        prop_assert!(committed_insertion.is_empty(),
-                            "next_issue may only stall behind an active entry");
+                        assert!(
+                            committed_insertion.is_empty(),
+                            "next_issue may only stall behind an active entry"
+                        );
                     }
                 }
                 TcOp::Ack => {
                     if let Some(slot) = issued.pop_front() {
                         let before = tc.occupancy();
                         tc.ack_slot(slot);
-                        prop_assert_eq!(tc.occupancy(), before - 1);
+                        assert_eq!(tc.occupancy(), before - 1);
                     }
                 }
             }
             // Global invariants.
-            prop_assert!(tc.occupancy() <= tc.capacity());
-            prop_assert!(tc.active_entries() <= tc.occupancy());
-            prop_assert_eq!(tc.entries_fifo().len(), tc.occupancy());
+            assert!(tc.occupancy() <= tc.capacity());
+            assert!(tc.active_entries() <= tc.occupancy());
+            assert_eq!(tc.entries_fifo().len(), tc.occupancy());
         }
-    }
+    });
+}
 
-    #[test]
-    fn probe_always_returns_newest(
-        writes in proptest::collection::vec((0u8..8, 0u64..1000), 1..30),
-    ) {
+#[test]
+fn probe_always_returns_newest() {
+    pmacc_prop::check("probe_always_returns_newest", |g| {
+        let writes = g.vec(1..30, |g| (g.gen_range(0u8..8), g.gen_range(0u64..1000)));
         let cfg = TxCacheConfig::dac17();
         let mut tc = TxCache::new(&cfg);
         let tx = TxId::new(0, 0);
@@ -119,7 +121,7 @@ proptest! {
         }
         for (line, (w, v)) in newest {
             let hit = tc.probe(line).expect("line buffered");
-            prop_assert_eq!(hit.values[word(w).index_in_line()], Some(v));
+            assert_eq!(hit.values[word(w).index_in_line()], Some(v));
         }
-    }
+    });
 }

@@ -1,33 +1,40 @@
 //! Property test: the trace text format round-trips arbitrary traces.
 
-use proptest::prelude::*;
+use pmacc_prop::Gen;
 
 use pmacc_cpu::text::{from_text, to_text};
 use pmacc_cpu::{Op, Trace};
 use pmacc_types::Addr;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let addr = (0u64..(1 << 30)).prop_map(|a| Addr::new(a * 8));
-    prop_oneof![
-        (1u32..16).prop_map(Op::Compute),
-        addr.clone().prop_map(|addr| Op::Load { addr }),
-        (addr.clone(), any::<u64>()).prop_map(|(addr, value)| Op::Store { addr, value }),
-        (addr.clone(), any::<u64>(), any::<u64>())
-            .prop_map(|(addr, meta, value)| Op::LogStore { addr, meta, value }),
-        addr.prop_map(|addr| Op::Flush { addr }),
-        Just(Op::Fence),
-        Just(Op::PCommit),
-        Just(Op::TxBegin),
-        Just(Op::TxEnd),
-    ]
+fn arb_op(g: &mut Gen) -> Op {
+    let addr = |g: &mut Gen| Addr::new(g.gen_range(0u64..1 << 30) * 8);
+    match g.gen_range(0..9u32) {
+        0 => Op::Compute(g.gen_range(1u32..16)),
+        1 => Op::Load { addr: addr(g) },
+        2 => Op::Store {
+            addr: addr(g),
+            value: g.gen(),
+        },
+        3 => Op::LogStore {
+            addr: addr(g),
+            meta: g.gen(),
+            value: g.gen(),
+        },
+        4 => Op::Flush { addr: addr(g) },
+        5 => Op::Fence,
+        6 => Op::PCommit,
+        7 => Op::TxBegin,
+        _ => Op::TxEnd,
+    }
 }
 
-proptest! {
-    #[test]
-    fn text_round_trip(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+#[test]
+fn text_round_trip() {
+    pmacc_prop::check("text_round_trip", |g| {
+        let ops = g.vec(0..200, arb_op);
         let trace: Trace = ops.into_iter().collect();
         let text = to_text(&trace);
         let back = from_text(&text).expect("serialized traces parse");
-        prop_assert_eq!(back, trace);
-    }
+        assert_eq!(back, trace);
+    });
 }

@@ -1,7 +1,6 @@
 //! Property tests of the memory controller: request conservation, fences
 //! of the drain policy, and timing monotonicity.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 use pmacc_mem::MemController;
@@ -11,18 +10,19 @@ fn line(i: u64) -> LineAddr {
     LineAddr::new(Addr::nvm_base().line().raw() + i)
 }
 
-proptest! {
-    /// Every accepted request completes exactly once, after its arrival,
-    /// and completions never travel back in time.
-    #[test]
-    fn conservation_and_monotonic_time(
-        reqs in proptest::collection::vec((0u64..64, any::<bool>(), 0u64..50), 1..150),
-    ) {
-        let mut ctrl = MemController::new(
-            MemRegion::Nvm,
-            MemConfig::nvm_dac17(),
-            Default::default(),
-        );
+/// Every accepted request completes exactly once, after its arrival,
+/// and completions never travel back in time.
+#[test]
+fn conservation_and_monotonic_time() {
+    pmacc_prop::check("conservation_and_monotonic_time", |g| {
+        let reqs = g.vec(1..150, |g| {
+            (
+                g.gen_range(0u64..64),
+                g.gen::<bool>(),
+                g.gen_range(0u64..50),
+            )
+        });
+        let mut ctrl = MemController::new(MemRegion::Nvm, MemConfig::nvm_dac17(), Default::default());
         let mut now = 0u64;
         let mut accepted: HashSet<u64> = HashSet::new();
         let mut arrivals: std::collections::HashMap<u64, u64> = Default::default();
@@ -43,10 +43,10 @@ proptest! {
                 arrivals.insert(next_id, now);
             }
             for c in ctrl.advance(now) {
-                prop_assert!(completed.insert(c.req.id.0), "double completion");
-                prop_assert!(c.done_at <= now);
-                prop_assert!(c.done_at >= last_seen, "completions out of order");
-                prop_assert!(c.done_at >= arrivals[&c.req.id.0], "completed before arrival");
+                assert!(completed.insert(c.req.id.0), "double completion");
+                assert!(c.done_at <= now);
+                assert!(c.done_at >= last_seen, "completions out of order");
+                assert!(c.done_at >= arrivals[&c.req.id.0], "completed before arrival");
                 last_seen = c.done_at;
             }
         }
@@ -55,35 +55,29 @@ proptest! {
         while ctrl.outstanding() > 0 {
             now = ctrl.next_wake().unwrap_or(now + 1).max(now + 1);
             for c in ctrl.advance(now) {
-                prop_assert!(completed.insert(c.req.id.0), "double completion at drain");
+                assert!(completed.insert(c.req.id.0), "double completion at drain");
             }
             guard += 1;
-            prop_assert!(guard < 10_000, "controller failed to quiesce");
+            assert!(guard < 10_000, "controller failed to quiesce");
         }
-        prop_assert_eq!(&completed, &accepted, "every accepted request completes");
-    }
+        assert_eq!(completed, accepted, "every accepted request completes");
+    });
+}
 
-    /// Writes to a line already queued coalesce and still complete.
-    #[test]
-    fn coalesced_writes_complete(
-        n in 2usize..20,
-    ) {
-        let mut ctrl = MemController::new(
-            MemRegion::Nvm,
-            MemConfig::nvm_dac17(),
-            Default::default(),
-        );
+/// Writes to a line already queued coalesce and still complete.
+#[test]
+fn coalesced_writes_complete() {
+    pmacc_prop::check("coalesced_writes_complete", |g| {
+        let n = g.gen_range(2usize..20);
+        let mut ctrl = MemController::new(MemRegion::Nvm, MemConfig::nvm_dac17(), Default::default());
         for i in 0..n as u64 {
-            ctrl.enqueue(
-                MemReq::write(ReqId(i), line(0), None, WriteCause::Flush),
-                0,
-            )
-            .expect("same-line writes coalesce, never overflow");
+            ctrl.enqueue(MemReq::write(ReqId(i), line(0), None, WriteCause::Flush), 0)
+                .expect("same-line writes coalesce, never overflow");
         }
         let done = ctrl.advance(1_000_000);
-        prop_assert_eq!(done.len(), n, "all ids complete");
+        assert_eq!(done.len(), n, "all ids complete");
         // Only one device write happened; the rest were absorbed.
-        prop_assert_eq!(ctrl.stats.writes(), 1);
-        prop_assert_eq!(ctrl.stats.coalesced_writes.value(), n as u64 - 1);
-    }
+        assert_eq!(ctrl.stats.writes(), 1);
+        assert_eq!(ctrl.stats.coalesced_writes.value(), n as u64 - 1);
+    });
 }

@@ -1,0 +1,248 @@
+#![warn(missing_docs)]
+//! A minimal, dependency-free property-testing harness.
+//!
+//! This replaces the external `proptest` crate for the workspace's
+//! `*_prop.rs` suites. It keeps the three things those tests actually
+//! rely on and drops the rest (grammar strategies, shrinking):
+//!
+//! 1. **Seeded case generation** — every case draws its inputs from a
+//!    [`Gen`] seeded deterministically from the test's base seed and the
+//!    case index, so runs are reproducible byte-for-byte.
+//! 2. **Iteration** — [`check`] runs a configurable number of cases
+//!    (default 64, `PMACC_PROP_CASES` overrides).
+//! 3. **Failure-seed reporting** — a panicking case reports its case
+//!    seed and the exact environment variables that replay just that
+//!    case (`PMACC_PROP_SEED=<seed> PMACC_PROP_CASES=1`).
+//!
+//! # Example
+//!
+//! ```
+//! pmacc_prop::check("reverse_is_involutive", |g| {
+//!     let v: Vec<u64> = g.vec(0..20, |g| g.gen_range(0..100u64));
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     assert_eq!(v, w);
+//! });
+//! ```
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use pmacc_types::rng::{stream_seed, Rng, Sample, SampleRange};
+
+/// The base seed used when `PMACC_PROP_SEED` is unset. Fixed so CI runs
+/// are deterministic; change it locally to explore a different corner of
+/// the input space.
+pub const DEFAULT_BASE_SEED: u64 = 0xDAC1_7000;
+
+/// Number of cases when `PMACC_PROP_CASES` is unset.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Harness configuration, resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; case `i` runs with `stream_seed(base_seed, i)`.
+    pub base_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("PMACC_PROP_CASES")
+                .map_or(DEFAULT_CASES, |v| v.clamp(1, u64::from(u32::MAX)) as u32),
+            base_seed: env_u64("PMACC_PROP_SEED").unwrap_or(DEFAULT_BASE_SEED),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// A per-case input generator (one seeded [`Rng`] plus drawing helpers).
+#[derive(Debug)]
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// A generator for an explicit case seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Direct access to the underlying generator.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// A uniform value over the whole domain of `T` (`u8`..`u64`,
+    /// `usize`, `bool`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        self.rng.gen()
+    }
+
+    /// A uniform value in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A uniform `f64` in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn f64_range(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.rng.gen_unit_f64() * (range.end - range.start)
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// produced by `f`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.gen_range(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<T: Copy>(&mut self, items: &[T]) -> T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        items[self.gen_range(0..items.len())]
+    }
+
+    /// An index into `weights`, chosen with probability proportional to
+    /// its weight (the moral equivalent of `prop_oneof!` with weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|w| u64::from(*w)).sum();
+        assert!(total > 0, "weights must sum to > 0");
+        let mut roll = self.gen_range(0..total);
+        for (i, w) in weights.iter().enumerate() {
+            let w = u64::from(*w);
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        unreachable!("roll < total")
+    }
+}
+
+/// Runs `property` for [`Config::default`]'s number of cases, each with a
+/// fresh seeded [`Gen`]. On a panic inside the property, prints the
+/// failing case seed and replay instructions, then re-raises the panic so
+/// the test fails normally.
+pub fn check(name: &str, property: impl Fn(&mut Gen)) {
+    check_with(name, Config::default(), property);
+}
+
+/// [`check`] under an explicit configuration (e.g. a soak run with more
+/// cases than the default).
+pub fn check_with(name: &str, config: Config, property: impl Fn(&mut Gen)) {
+    for case in 0..config.cases {
+        // With PMACC_PROP_SEED set and a single case, replay that seed
+        // exactly; otherwise derive one stream per case index.
+        let case_seed = if config.cases == 1 {
+            config.base_seed
+        } else {
+            stream_seed(config.base_seed, u64::from(case))
+        };
+        let mut g = Gen::from_seed(case_seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut g))) {
+            eprintln!(
+                "\n[pmacc-prop] property `{name}` failed at case {case}/{cases} \
+                 (case seed {case_seed:#x}).\n[pmacc-prop] replay just this case with: \
+                 PMACC_PROP_SEED={case_seed} PMACC_PROP_CASES=1 cargo test {name}\n",
+                cases = config.cases,
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_generates_identical_cases() {
+        let draw = |seed| {
+            let mut g = Gen::from_seed(seed);
+            g.vec(5..10, |g| g.gen::<u64>())
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn check_runs_the_configured_number_of_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check_with(
+            "counts",
+            Config {
+                cases: 17,
+                base_seed: 1,
+            },
+            |_| counter.set(counter.get() + 1),
+        );
+        assert_eq!(counter.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                "always_fails",
+                Config {
+                    cases: 3,
+                    base_seed: 9,
+                },
+                |_| panic!("boom"),
+            );
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn weighted_hits_every_index_and_respects_zero() {
+        let mut g = Gen::from_seed(4);
+        let mut seen = [0u32; 3];
+        for _ in 0..1_000 {
+            seen[g.weighted(&[3, 0, 1])] += 1;
+        }
+        assert!(seen[0] > seen[2]);
+        assert_eq!(seen[1], 0);
+        assert!(seen[2] > 0);
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut g = Gen::from_seed(8);
+        for _ in 0..1_000 {
+            let v = g.f64_range(0.25..1.5);
+            assert!((0.25..1.5).contains(&v));
+        }
+    }
+}

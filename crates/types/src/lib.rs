@@ -26,6 +26,7 @@ mod cycle;
 mod error;
 pub mod layout;
 mod request;
+pub mod rng;
 mod stats;
 mod txid;
 mod value;
@@ -35,6 +36,7 @@ pub use config::{CacheConfig, CoreConfig, MachineConfig, MemConfig, NvLlcConfig,
 pub use cycle::{Cycle, Freq};
 pub use error::{ConfigError, SimError};
 pub use request::{AccessKind, CoreId, MemReq, ReqId, WriteCause};
+pub use rng::Rng;
 pub use stats::{Counter, Histogram, Ratio};
 pub use txid::TxId;
 pub use value::Word;

@@ -6,7 +6,6 @@
 //! a good stress for the transaction cache's variable occupancy.
 
 use pmacc_types::{Addr, Word, WORD_BYTES};
-use rand::Rng;
 
 use crate::session::MemSession;
 

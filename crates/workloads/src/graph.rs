@@ -6,7 +6,6 @@
 //! leaves a dangling pointer after a crash.
 
 use pmacc_types::{Addr, Word, WORD_BYTES};
-use rand::Rng;
 
 use crate::session::MemSession;
 

@@ -130,7 +130,6 @@ impl HashTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn insert_then_search() {

@@ -194,7 +194,6 @@ mod tests {
 
     #[test]
     fn matches_reference_deque() {
-        use rand::Rng;
         let mut s = MemSession::new(3);
         let q = PersistentQueue::create(&mut s);
         let mut reference = VecDeque::new();

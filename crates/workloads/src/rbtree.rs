@@ -6,7 +6,6 @@
 //! pattern persistent-memory papers use this benchmark for.
 
 use pmacc_types::{Addr, Word, WORD_BYTES};
-use rand::Rng;
 
 use crate::session::MemSession;
 

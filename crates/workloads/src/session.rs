@@ -2,10 +2,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use pmacc_cpu::{Op, Trace};
+use pmacc_types::rng::Rng;
 use pmacc_types::{layout, Addr, Word, WordAddr};
 
 use crate::heap::Heap;
@@ -46,7 +44,7 @@ pub struct MemSession {
     recording: bool,
     pheap: Heap,
     vheap: Heap,
-    rng: SmallRng,
+    rng: Rng,
 }
 
 impl MemSession {
@@ -60,12 +58,12 @@ impl MemSession {
             recording: false,
             pheap: Heap::new(layout::persistent_heap_base(), 1 << 30),
             vheap: Heap::new(layout::volatile_heap_base(), 1 << 30),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 
     /// The session's random-number generator.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.rng
     }
 
@@ -190,7 +188,6 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic() {
-        use rand::Rng;
         let mut a = MemSession::new(5);
         let mut b = MemSession::new(5);
         let x: u64 = a.rng().gen();

@@ -7,7 +7,6 @@
 //! the inserted key set.
 
 use pmacc_types::{Addr, Word, WORD_BYTES};
-use rand::Rng;
 
 use crate::session::MemSession;
 
@@ -239,7 +238,6 @@ mod tests {
 
     #[test]
     fn matches_reference_map() {
-        use rand::Rng;
         let mut s = MemSession::new(7);
         let sl = SkipList::create(&mut s);
         let mut reference = BTreeMap::new();

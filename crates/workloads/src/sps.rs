@@ -6,7 +6,6 @@
 //! (0.67% of execution time, §5.2).
 
 use pmacc_types::{Addr, Word, WORD_BYTES};
-use rand::Rng;
 
 use crate::session::MemSession;
 

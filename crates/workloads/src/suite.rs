@@ -177,7 +177,11 @@ pub struct WorkloadTrace {
 /// ```
 #[must_use]
 pub fn build(kind: WorkloadKind, params: &WorkloadParams) -> WorkloadTrace {
-    let mut s = MemSession::new(params.seed ^ (kind as u64).wrapping_mul(0x9E37));
+    // Each workload kind gets its own well-mixed generator stream: the
+    // previous `seed ^ (kind as u64) * 0x9E37` derivation only perturbed
+    // the low 16 bits, so seed pairs that differed in exactly those bits
+    // could make two kinds (or two seeds of one kind) share a stream.
+    let mut s = MemSession::new(pmacc_types::rng::stream_seed(params.seed, kind as u64));
     match kind {
         WorkloadKind::Graph => {
             // The vertex-head array is the hot set; edge nodes go cold.
@@ -234,8 +238,8 @@ pub fn build(kind: WorkloadKind, params: &WorkloadParams) -> WorkloadTrace {
             }
             s.start_recording();
             for _ in 0..params.num_ops {
-                if rand::Rng::gen_bool(s.rng(), 0.55) {
-                    let v = rand::Rng::gen::<Word>(s.rng());
+                if s.rng().gen_bool(0.55) {
+                    let v = s.rng().gen::<Word>();
                     q.enqueue(&mut s, v);
                 } else {
                     let _ = q.dequeue(&mut s);
@@ -258,16 +262,16 @@ pub fn build(kind: WorkloadKind, params: &WorkloadParams) -> WorkloadTrace {
             let buckets = (params.setup_items as u64 / 4).max(16).next_power_of_two();
             let t = HashTable::create(&mut s, buckets);
             for _ in 0..params.setup_items {
-                let k = rand::Rng::gen_range(s.rng(), 0..params.key_space);
-                let v = rand::Rng::gen::<Word>(s.rng());
+                let k = s.rng().gen_range(0..params.key_space);
+                let v = s.rng().gen::<Word>();
                 t.insert(&mut s, k, v);
             }
             s.start_recording();
             for _ in 0..params.num_ops {
-                let k = rand::Rng::gen_range(s.rng(), 0..params.key_space);
-                let roll: u32 = rand::Rng::gen_range(s.rng(), 0..100);
+                let k = s.rng().gen_range(0..params.key_space);
+                let roll: u32 = s.rng().gen_range(0..100);
                 if roll < params.insert_ratio {
-                    let v = rand::Rng::gen::<Word>(s.rng());
+                    let v = s.rng().gen::<Word>();
                     t.insert(&mut s, k, v);
                 } else {
                     let _ = t.search(&mut s, k);

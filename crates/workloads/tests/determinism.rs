@@ -1,0 +1,65 @@
+//! Determinism regression tests: the entire reproduction pipeline hangs
+//! off seeded workload traces, so trace bytes must be a pure function of
+//! `WorkloadParams` — identical across runs, distinct across seeds and
+//! across workload kinds.
+
+use pmacc_cpu::text::to_text;
+use pmacc_workloads::{build, WorkloadKind, WorkloadParams};
+
+/// FNV-1a over the trace's canonical text serialization: a stable,
+/// dependency-free digest of every opcode, address and value in order.
+fn trace_hash(kind: WorkloadKind, params: &WorkloadParams) -> u64 {
+    let text = to_text(&build(kind, params).trace);
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[test]
+fn same_seed_produces_byte_identical_traces() {
+    for kind in WorkloadKind::extended() {
+        let params = WorkloadParams::tiny(11);
+        assert_eq!(
+            trace_hash(kind, &params),
+            trace_hash(kind, &params),
+            "{kind:?} trace must be byte-identical across runs of one seed"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    for kind in WorkloadKind::extended() {
+        let a = trace_hash(kind, &WorkloadParams::tiny(1));
+        let b = trace_hash(kind, &WorkloadParams::tiny(2));
+        assert_ne!(a, b, "{kind:?} seeds 1 and 2 must not share a trace");
+    }
+}
+
+#[test]
+fn workload_kinds_never_share_a_generator_stream() {
+    // Regression for the retired `seed ^ (kind as u64) * 0x9E37` stream
+    // derivation, under which two kinds could share a generator sequence
+    // whenever their seeds differed by a multiple-of-0x9E37 xor: e.g.
+    // graph (kind 0) at seed 0x9E37 and rbtree (kind 1) at seed 0 both
+    // derived stream 0x9E37.
+    let graph = pmacc_types::rng::stream_seed(0x9E37, WorkloadKind::Graph as u64);
+    let rbtree = pmacc_types::rng::stream_seed(0, WorkloadKind::Rbtree as u64);
+    assert_ne!(graph, rbtree, "old derivation collided this pair");
+
+    // The well-mixed streams stay collision-free over the whole
+    // (small-seed, kind) space the suite actually uses.
+    let mut seen = std::collections::HashSet::new();
+    for seed in 0..32u64 {
+        for kind in WorkloadKind::extended() {
+            let stream = pmacc_types::rng::stream_seed(seed, kind as u64);
+            assert!(
+                seen.insert(stream),
+                "stream collision at seed={seed} kind={kind:?}"
+            );
+        }
+    }
+}

@@ -1,16 +1,28 @@
 //! Property tests of the persistent data structures against reference
 //! implementations, exercised through the recording session.
 
-use proptest::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 
-use pmacc_workloads::{BPlusTree, HashTable, MemSession, PersistentQueue, RbTree, SkipList, SwapArray};
+use pmacc_prop::Gen;
+use pmacc_workloads::{
+    BPlusTree, HashTable, MemSession, PersistentQueue, RbTree, SkipList, SwapArray,
+};
 
-proptest! {
-    #[test]
-    fn rbtree_matches_btreemap(
-        ops in proptest::collection::vec((0u64..64, 0u64..1_000, any::<bool>()), 1..250),
-    ) {
+/// `(key, value, insert?)` triples driving the map-like structures.
+fn arb_map_ops(g: &mut Gen) -> Vec<(u64, u64, bool)> {
+    g.vec(1..250, |g| {
+        (
+            g.gen_range(0u64..64),
+            g.gen_range(0u64..1_000),
+            g.gen::<bool>(),
+        )
+    })
+}
+
+#[test]
+fn rbtree_matches_btreemap() {
+    pmacc_prop::check("rbtree_matches_btreemap", |g| {
+        let ops = arb_map_ops(g);
         let mut s = MemSession::new(1);
         let t = RbTree::create(&mut s);
         let mut reference = BTreeMap::new();
@@ -19,20 +31,21 @@ proptest! {
                 t.insert(&mut s, k, v);
                 reference.insert(k, v);
             } else {
-                prop_assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
+                assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
             }
         }
-        t.check_invariants(&s).map_err(TestCaseError::fail)?;
-        prop_assert_eq!(t.count(&s), reference.len() as u64);
+        t.check_invariants(&s).expect("rbtree invariants");
+        assert_eq!(t.count(&s), reference.len() as u64);
         for (k, v) in reference {
-            prop_assert_eq!(t.peek_get(&s, k), Some(v));
+            assert_eq!(t.peek_get(&s, k), Some(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn btree_matches_btreemap(
-        ops in proptest::collection::vec((0u64..64, 0u64..1_000, any::<bool>()), 1..250),
-    ) {
+#[test]
+fn btree_matches_btreemap() {
+    pmacc_prop::check("btree_matches_btreemap", |g| {
+        let ops = arb_map_ops(g);
         let mut s = MemSession::new(2);
         let t = BPlusTree::create(&mut s);
         let mut reference = BTreeMap::new();
@@ -41,20 +54,27 @@ proptest! {
                 t.insert(&mut s, k, v);
                 reference.insert(k, v);
             } else {
-                prop_assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
+                assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
             }
         }
-        t.check_invariants(&s).map_err(TestCaseError::fail)?;
+        t.check_invariants(&s).expect("btree invariants");
         for (k, v) in reference {
-            prop_assert_eq!(t.peek_get(&s, k), Some(v));
+            assert_eq!(t.peek_get(&s, k), Some(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn hashtable_matches_hashmap(
-        buckets_log2 in 0u32..6,
-        ops in proptest::collection::vec((0u64..48, 0u64..1_000, any::<bool>()), 1..250),
-    ) {
+#[test]
+fn hashtable_matches_hashmap() {
+    pmacc_prop::check("hashtable_matches_hashmap", |g| {
+        let buckets_log2 = g.gen_range(0u32..6);
+        let ops = g.vec(1..250, |g| {
+            (
+                g.gen_range(0u64..48),
+                g.gen_range(0u64..1_000),
+                g.gen::<bool>(),
+            )
+        });
         let mut s = MemSession::new(3);
         let t = HashTable::create(&mut s, 1 << buckets_log2);
         let mut reference = HashMap::new();
@@ -63,20 +83,21 @@ proptest! {
                 t.insert(&mut s, k, v);
                 reference.insert(k, v);
             } else {
-                prop_assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
+                assert_eq!(t.search(&mut s, k), reference.get(&k).copied());
             }
         }
-        t.check(&s).map_err(TestCaseError::fail)?;
+        t.check(&s).expect("hashtable invariants");
         for (k, v) in reference {
-            prop_assert_eq!(t.peek(&s, k), Some(v));
+            assert_eq!(t.peek(&s, k), Some(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn swap_array_stays_a_permutation(
-        len in 2u64..64,
-        swaps in proptest::collection::vec((0u64..64, 0u64..64), 0..200),
-    ) {
+#[test]
+fn swap_array_stays_a_permutation() {
+    pmacc_prop::check("swap_array_stays_a_permutation", |g| {
+        let len = g.gen_range(2u64..64);
+        let swaps = g.vec(0..200, |g| (g.gen_range(0u64..64), g.gen_range(0u64..64)));
         let mut s = MemSession::new(4);
         let a = SwapArray::create(&mut s, len);
         let mut reference: Vec<u64> = (0..len).collect();
@@ -85,14 +106,15 @@ proptest! {
             a.swap(&mut s, i, j);
             reference.swap(i as usize, j as usize);
         }
-        a.check_permutation(&s).map_err(TestCaseError::fail)?;
-        prop_assert_eq!(a.snapshot(&s), reference);
-    }
+        a.check_permutation(&s).expect("sps permutation");
+        assert_eq!(a.snapshot(&s), reference);
+    });
+}
 
-    #[test]
-    fn skiplist_matches_btreemap(
-        ops in proptest::collection::vec((0u64..64, 0u64..1_000, any::<bool>()), 1..250),
-    ) {
+#[test]
+fn skiplist_matches_btreemap() {
+    pmacc_prop::check("skiplist_matches_btreemap", |g| {
+        let ops = arb_map_ops(g);
         let mut s = MemSession::new(6);
         let sl = SkipList::create(&mut s);
         let mut reference = BTreeMap::new();
@@ -101,20 +123,21 @@ proptest! {
                 sl.insert(&mut s, k, v);
                 reference.insert(k, v);
             } else {
-                prop_assert_eq!(sl.search(&mut s, k), reference.get(&k).copied());
+                assert_eq!(sl.search(&mut s, k), reference.get(&k).copied());
             }
         }
-        sl.check_invariants(&s).map_err(TestCaseError::fail)?;
-        prop_assert_eq!(sl.count(&s), reference.len() as u64);
+        sl.check_invariants(&s).expect("skiplist invariants");
+        assert_eq!(sl.count(&s), reference.len() as u64);
         for (k, v) in reference {
-            prop_assert_eq!(sl.peek_get(&s, k), Some(v));
+            assert_eq!(sl.peek_get(&s, k), Some(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn queue_matches_vecdeque(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..1_000), 1..300),
-    ) {
+#[test]
+fn queue_matches_vecdeque() {
+    pmacc_prop::check("queue_matches_vecdeque", |g| {
+        let ops = g.vec(1..300, |g| (g.gen::<bool>(), g.gen_range(0u64..1_000)));
         let mut s = MemSession::new(7);
         let q = PersistentQueue::create(&mut s);
         let mut reference = std::collections::VecDeque::new();
@@ -123,20 +146,21 @@ proptest! {
                 q.enqueue(&mut s, v);
                 reference.push_back(v);
             } else {
-                prop_assert_eq!(q.dequeue(&mut s), reference.pop_front());
+                assert_eq!(q.dequeue(&mut s), reference.pop_front());
             }
         }
-        q.check(&s).map_err(TestCaseError::fail)?;
-        prop_assert_eq!(q.snapshot(&s), Vec::from(reference));
-    }
+        q.check(&s).expect("queue invariants");
+        assert_eq!(q.snapshot(&s), Vec::from(reference));
+    });
+}
 
-    /// The trace-replay invariant at property scale: replaying the
-    /// recorded stores over the initial image reproduces the final image.
-    #[test]
-    fn trace_replay_reconstructs_memory(
-        ops in proptest::collection::vec((0u64..32, 0u64..100), 1..100),
-    ) {
+/// The trace-replay invariant at property scale: replaying the
+/// recorded stores over the initial image reproduces the final image.
+#[test]
+fn trace_replay_reconstructs_memory() {
+    pmacc_prop::check("trace_replay_reconstructs_memory", |g| {
         use pmacc_cpu::Op;
+        let ops = g.vec(1..100, |g| (g.gen_range(0u64..32), g.gen_range(0u64..100)));
         let mut s = MemSession::new(5);
         let t = RbTree::create(&mut s);
         t.insert(&mut s, 1, 1); // some pre-recording state
@@ -151,6 +175,6 @@ proptest! {
                 mem.insert(addr.word(), *value);
             }
         }
-        prop_assert_eq!(mem, final_image);
-    }
+        assert_eq!(mem, final_image);
+    });
 }

@@ -2,30 +2,21 @@
 //! crash points, every persistent scheme — recovery must always be
 //! transaction-atomic and durable.
 
-use proptest::prelude::*;
-
 use pmacc::recovery::{check_recovery, recover};
 use pmacc::{RunConfig, System};
+use pmacc_prop::Config;
 use pmacc_types::{MachineConfig, SchemeKind};
 use pmacc_workloads::{WorkloadKind, WorkloadParams};
 
-fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
-    prop_oneof![
-        Just(SchemeKind::Sp),
-        Just(SchemeKind::TxCache),
-        Just(SchemeKind::NvLlc),
-    ]
-}
+const SCHEMES: [SchemeKind; 3] = [SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc];
 
-fn workload_strategy() -> impl Strategy<Value = WorkloadKind> {
-    prop_oneof![
-        Just(WorkloadKind::Graph),
-        Just(WorkloadKind::Rbtree),
-        Just(WorkloadKind::Sps),
-        Just(WorkloadKind::Btree),
-        Just(WorkloadKind::Hashtable),
-    ]
-}
+const WORKLOADS: [WorkloadKind; 5] = [
+    WorkloadKind::Graph,
+    WorkloadKind::Rbtree,
+    WorkloadKind::Sps,
+    WorkloadKind::Btree,
+    WorkloadKind::Hashtable,
+];
 
 fn build(scheme: SchemeKind, kind: WorkloadKind, seed: u64, tiny_tc: bool) -> System {
     let mut cfg = MachineConfig::small().with_scheme(scheme);
@@ -45,36 +36,67 @@ fn build(scheme: SchemeKind, kind: WorkloadKind, seed: u64, tiny_tc: bool) -> Sy
     System::for_workload(cfg, kind, &params, &RunConfig::default()).expect("system builds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        // 24 cases by default (each runs two full simulations); override
-        // with PMACC_FUZZ_CASES for deeper soak runs.
-        cases: std::env::var("PMACC_FUZZ_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(24),
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn recovery_is_always_consistent(
-        scheme in scheme_strategy(),
-        kind in workload_strategy(),
-        seed in 0u64..1_000,
-        crash_frac in 0.01f64..1.2,
-        tiny_tc in any::<bool>(),
-    ) {
-        let total = {
-            let mut sys = build(scheme, kind, seed, tiny_tc);
-            sys.run().expect("full run").cycles
-        };
-        let crash_at = ((total as f64) * crash_frac) as u64;
+/// One fully pinned-down crash scenario: run to completion to learn the
+/// cycle count, crash a second identical run at `crash_frac`, recover,
+/// and check transaction atomicity + durability.
+fn crash_case(scheme: SchemeKind, kind: WorkloadKind, seed: u64, crash_frac: f64, tiny_tc: bool) {
+    let total = {
         let mut sys = build(scheme, kind, seed, tiny_tc);
-        sys.run_until(crash_at).expect("partial run");
-        let state = sys.crash_state();
-        let recovered = recover(&state);
-        if let Err(e) = check_recovery(&state, &recovered) {
-            panic!("{scheme}/{kind} seed {seed} crash@{crash_at} (tiny_tc={tiny_tc}): {e}");
-        }
+        sys.run().expect("full run").cycles
+    };
+    let crash_at = ((total as f64) * crash_frac) as u64;
+    let mut sys = build(scheme, kind, seed, tiny_tc);
+    sys.run_until(crash_at).expect("partial run");
+    let state = sys.crash_state();
+    let recovered = recover(&state);
+    if let Err(e) = check_recovery(&state, &recovered) {
+        panic!("{scheme}/{kind} seed {seed} crash@{crash_at} (tiny_tc={tiny_tc}): {e}");
     }
+}
+
+/// The failure cases the retired `proptest-regressions` file had pinned;
+/// kept as explicit deterministic regressions so they run on every
+/// `cargo test` forever.
+#[test]
+fn recovery_regression_sp_hashtable_seed_334() {
+    crash_case(
+        SchemeKind::Sp,
+        WorkloadKind::Hashtable,
+        334,
+        0.4337109837822969,
+        false,
+    );
+}
+
+#[test]
+fn recovery_regression_txcache_btree_seed_58() {
+    crash_case(
+        SchemeKind::TxCache,
+        WorkloadKind::Btree,
+        58,
+        0.8418357596500805,
+        true,
+    );
+}
+
+#[test]
+fn recovery_is_always_consistent() {
+    // 24 cases by default (each runs two full simulations); override
+    // with PMACC_FUZZ_CASES for deeper soak runs.
+    let cases = std::env::var("PMACC_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let config = Config {
+        cases,
+        ..Config::default()
+    };
+    pmacc_prop::check_with("recovery_is_always_consistent", config, |g| {
+        let scheme = g.choose(&SCHEMES);
+        let kind = g.choose(&WORKLOADS);
+        let seed = g.gen_range(0u64..1_000);
+        let crash_frac = g.f64_range(0.01..1.2);
+        let tiny_tc = g.gen::<bool>();
+        crash_case(scheme, kind, seed, crash_frac, tiny_tc);
+    });
 }
