@@ -20,4 +20,13 @@ cargo test -q --offline
 echo "==> cargo clippy --all-targets --offline -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "==> RUSTDOCFLAGS=-D warnings cargo doc --no-deps --offline"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
+# Smoke-run the parallel experiment path end to end: a quick-scale grid
+# fanned out over the pool (PMACC_JOBS=4 exercises the multi-worker code
+# even on small CI boxes) rendered to one figure.
+echo "==> reproduce --quick fig6 (parallel smoke run, 4 workers)"
+PMACC_JOBS=4 cargo run --release --offline -q -p pmacc-bench --bin reproduce -- --quick fig6 > /dev/null
+
 echo "==> ci.sh: all green"

@@ -6,16 +6,18 @@ use pmacc_bench::harness::Harness;
 
 use pmacc_bench::figures;
 use pmacc_bench::grid::{run_cell, Scale};
+use pmacc_bench::pool::Options;
 use pmacc_types::SchemeKind;
 use pmacc_workloads::WorkloadKind;
 
 fn bench(c: &mut Harness) {
+    let opts = Options::default();
     for (name, table) in [
-        ("A (TC size)", figures::ablation_txcache_size(Scale::Quick, 42)),
-        ("B (overflow)", figures::ablation_overflow(Scale::Quick, 42)),
-        ("C (NVM latency)", figures::ablation_nvm_latency(Scale::Quick, 42)),
-        ("D (coalescing)", figures::ablation_coalesce(Scale::Quick, 42)),
-        ("E (SP fencing)", figures::ablation_sp_fencing(Scale::Quick, 42)),
+        ("A (TC size)", figures::ablation_txcache_size(Scale::Quick, 42, &opts)),
+        ("B (overflow)", figures::ablation_overflow(Scale::Quick, 42, &opts)),
+        ("C (NVM latency)", figures::ablation_nvm_latency(Scale::Quick, 42, &opts)),
+        ("D (coalescing)", figures::ablation_coalesce(Scale::Quick, 42, &opts)),
+        ("E (SP fencing)", figures::ablation_sp_fencing(Scale::Quick, 42, &opts)),
     ] {
         match table {
             Ok(t) => println!("\n{t}"),

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--quick|--full] [--seed N] [experiment ...]
+//! reproduce [--quick|--full] [--jobs N] [--seed N] [experiment ...]
 //!
 //! experiments: fig6 fig7 fig8 fig9 fig10 table1 table2 table3 stalls
 //!              ablation-size ablation-overflow ablation-nvm
@@ -11,11 +11,18 @@
 //! With no experiment arguments, everything runs. Output is markdown on
 //! stdout (progress goes to stderr), so `reproduce > results.md` captures
 //! a complete report.
+//!
+//! Independent simulation cells fan out over the `pmacc_bench::pool`
+//! worker pool: `--jobs N` (or the `PMACC_JOBS` environment variable)
+//! bounds the worker count, defaulting to all available cores. Results
+//! are bit-identical at any job count for the same seed.
 
 use std::process::ExitCode;
 
 use pmacc_bench::figures;
-use pmacc_bench::grid::{run_grid, Scale};
+use pmacc_bench::grid::{run_grid_opts, Scale};
+use pmacc_bench::pool::Options;
+use pmacc::RunConfig;
 use pmacc_types::MachineConfig;
 
 const GRID_EXPERIMENTS: [&str; 9] = [
@@ -57,6 +64,10 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut bars = false;
     let mut csv_dir: Option<String> = None;
+    let mut opts = Options {
+        progress: true,
+        ..Options::default()
+    };
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,10 +89,17 @@ fn main() -> ExitCode {
                 };
                 seed = v;
             }
+            "--jobs" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                opts.jobs = v;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: reproduce [--quick|--full] [--bars] [--csv DIR] \
-                     [--seed N] [experiment ...]"
+                     [--seed N] [--jobs N] [experiment ...]"
                 );
                 eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return ExitCode::SUCCESS;
@@ -106,8 +124,11 @@ fn main() -> ExitCode {
     // The five figures share one grid; run it once if any is requested.
     let needs_grid = wanted.iter().any(|w| GRID_EXPERIMENTS.contains(&w.as_str()));
     let grid = if needs_grid {
-        eprintln!("running the {:?} scheme x workload grid ...", scale);
-        match run_grid(scale, seed, true) {
+        eprintln!(
+            "running the {:?} scheme x workload grid on {} worker(s) ...",
+            scale, opts.jobs
+        );
+        match run_grid_opts(scale, seed, &RunConfig::default(), &opts) {
             Ok(g) => Some(g),
             Err(e) => {
                 eprintln!("grid failed: {e}");
@@ -135,14 +156,14 @@ fn main() -> ExitCode {
             "stalls" => Ok(figures::stalls(grid.as_ref().expect("grid ran"))),
             "energy" => Ok(figures::energy(grid.as_ref().expect("grid ran"))),
             "endurance" => Ok(figures::endurance(grid.as_ref().expect("grid ran"))),
-            "recovery" => figures::recovery_table(scale, seed),
-            "mix" => figures::mix(scale, seed),
-            "warm" => figures::warm(scale, seed),
-            "ablation-size" => figures::ablation_txcache_size(scale, seed),
-            "ablation-overflow" => figures::ablation_overflow(scale, seed),
-            "ablation-nvm" => figures::ablation_nvm_latency(scale, seed),
-            "ablation-coalesce" => figures::ablation_coalesce(scale, seed),
-            "ablation-sp-fencing" => figures::ablation_sp_fencing(scale, seed),
+            "recovery" => figures::recovery_table(scale, seed, &opts),
+            "mix" => figures::mix(scale, seed, &opts),
+            "warm" => figures::warm(scale, seed, &opts),
+            "ablation-size" => figures::ablation_txcache_size(scale, seed, &opts),
+            "ablation-overflow" => figures::ablation_overflow(scale, seed, &opts),
+            "ablation-nvm" => figures::ablation_nvm_latency(scale, seed, &opts),
+            "ablation-coalesce" => figures::ablation_coalesce(scale, seed, &opts),
+            "ablation-sp-fencing" => figures::ablation_sp_fencing(scale, seed, &opts),
             _ => unreachable!("validated above"),
         };
         match table {

@@ -1,5 +1,10 @@
 //! Every table and figure of the paper's evaluation, plus the ablations
 //! listed in `DESIGN.md`.
+//!
+//! The figure renderers that *run* simulations (the ablation sweeps,
+//! recovery, mix, warm) take a [`pool::Options`] and submit their cells
+//! to the worker pool; renderers over an already-computed
+//! [`GridResults`] are pure formatting.
 
 use pmacc::energy::{energy_of, EnergyParams};
 use pmacc::hwcost::HwOverhead;
@@ -10,7 +15,8 @@ use pmacc_cpu::StallKind;
 use pmacc_types::{MachineConfig, SchemeKind, SimError, WriteCause};
 use pmacc_workloads::{build, WorkloadKind};
 
-use crate::grid::{run_cell, run_grid_with, GridResults, Scale};
+use crate::grid::{run_cell, run_cells, run_grid_opts, GridResults, Scale};
+use crate::pool::{self, Job, Options};
 use crate::table::{norm, FigTable};
 
 /// A named metric extracted from a [`RunReport`].
@@ -239,7 +245,7 @@ pub fn endurance(grid: &GridResults) -> FigTable {
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn recovery_table(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn recovery_table(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let mut t = FigTable::new(
         "Extension: recovery",
         "Crash-recovery cost at 50% of an rbtree run",
@@ -255,22 +261,45 @@ pub fn recovery_table(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
         ],
     );
     let params = scale.params(seed);
-    for scheme in [SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc, SchemeKind::Optimal] {
-        let machine = scale.machine().with_scheme(scheme);
-        let total = {
-            let mut sys =
-                System::for_workload(machine.clone(), WorkloadKind::Rbtree, &params, &RunConfig::default())?;
-            sys.run()?.cycles
-        };
-        let mut sys =
-            System::for_workload(machine.clone(), WorkloadKind::Rbtree, &params, &RunConfig::default())?;
-        sys.run_until(total / 2)?;
-        let state = sys.crash_state();
-        let cost = recovery_cost(&state, &machine);
-        let recovered = recover(&state);
-        let ok = check_recovery(&state, &recovered).is_ok();
+    let schemes = [SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc, SchemeKind::Optimal];
+    // Each scheme's pair of runs (full, then crashed halfway) is an
+    // independent job; the two runs within a job stay sequential because
+    // the crash point depends on the full run's cycle count.
+    let jobs: Vec<Job<Result<(pmacc::recovery::RecoveryCost, bool), SimError>>> = schemes
+        .iter()
+        .map(|&scheme| {
+            let machine = scale.machine().with_scheme(scheme);
+            Job::new(format!("recovery/{scheme}"), move || {
+                let total = {
+                    let mut sys = System::for_workload(
+                        machine.clone(),
+                        WorkloadKind::Rbtree,
+                        &params,
+                        &RunConfig::default(),
+                    )?;
+                    sys.run()?.cycles
+                };
+                let mut sys = System::for_workload(
+                    machine.clone(),
+                    WorkloadKind::Rbtree,
+                    &params,
+                    &RunConfig::default(),
+                )?;
+                sys.run_until(total / 2)?;
+                let state = sys.crash_state();
+                let cost = recovery_cost(&state, &machine);
+                let recovered = recover(&state);
+                let ok = check_recovery(&state, &recovered).is_ok();
+                Ok((cost, ok))
+            })
+        })
+        .collect();
+    let rows = pool::run_jobs(jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("cell {} (seed {seed}) panicked: {}", p.label, p.message));
+    for (scheme, row) in schemes.iter().zip(rows) {
+        let (cost, ok) = row?;
         t.push_row(vec![
-            scheme_label(scheme).into(),
+            scheme_label(*scheme).into(),
             cost.words_scanned.to_string(),
             cost.words_replayed.to_string(),
             format!("{:.1} µs", cost.estimated_ns as f64 / 1000.0),
@@ -287,7 +316,7 @@ pub fn recovery_table(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn mix(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn mix(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let kinds = [
         WorkloadKind::Graph,
         WorkloadKind::Rbtree,
@@ -308,22 +337,29 @@ pub fn mix(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
         ],
     );
     let params = scale.params(seed);
-    let mut base: Option<RunReport> = None;
-    for scheme in [
+    let schemes = [
         SchemeKind::Optimal,
         SchemeKind::Sp,
         SchemeKind::TxCache,
         SchemeKind::NvLlc,
-    ] {
-        let machine = scale.machine().with_scheme(scheme);
-        let mut sys = System::for_workload_mix(machine, &kinds, &params, &RunConfig::default())?;
-        let r = sys.run()?;
-        if scheme == SchemeKind::Optimal {
-            base = Some(r.clone());
-        }
-        let b = base.as_ref().expect("optimal ran first");
+    ];
+    let jobs: Vec<Job<Result<RunReport, SimError>>> = schemes
+        .iter()
+        .map(|&scheme| {
+            let machine = scale.machine().with_scheme(scheme);
+            Job::new(format!("mix/{scheme}"), move || {
+                System::for_workload_mix(machine, &kinds, &params, &RunConfig::default())?.run()
+            })
+        })
+        .collect();
+    let reports = pool::run_jobs(jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("cell {} (seed {seed}) panicked: {}", p.label, p.message))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    let b = &reports[0]; // Optimal is submitted first.
+    for (scheme, r) in schemes.iter().zip(&reports) {
         t.push_row(vec![
-            scheme_label(scheme).into(),
+            scheme_label(*scheme).into(),
             norm(r.ipc() / b.ipc()),
             norm(r.throughput() / b.throughput()),
             norm(r.nvm_write_traffic() as f64 / b.nvm_write_traffic().max(1) as f64),
@@ -341,14 +377,14 @@ pub fn mix(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn warm(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn warm(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let params = scale.params(seed);
     let warmup = (params.num_ops as u64 * scale.machine().cores as u64) / 4;
     let rc = RunConfig {
         warmup_commits: warmup,
         ..RunConfig::default()
     };
-    let grid = run_grid_with(scale, seed, false, &rc)?;
+    let grid = run_grid_opts(scale, seed, &rc, opts)?;
     let mut t = FigTable::new(
         "Extension: warm",
         format!(
@@ -537,7 +573,7 @@ pub fn table3(scale: Scale, seed: u64) -> FigTable {
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn ablation_txcache_size(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn ablation_txcache_size(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let mut t = FigTable::new(
         "Ablation A",
         "Transaction-cache capacity sweep (TC scheme)",
@@ -554,21 +590,20 @@ pub fn ablation_txcache_size(scale: Scale, seed: u64) -> Result<FigTable, SimErr
         ],
     );
     let sizes: [u64; 6] = [512, 1024, 2048, 4096, 8192, 16384];
-    let mut base: Option<(f64, f64)> = None;
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for size in sizes {
         let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
         machine.txcache.size_bytes = size;
-        let sps = run_cell(machine.clone(), WorkloadKind::Sps, scale, seed)?;
-        let rb = run_cell(machine, WorkloadKind::Rbtree, scale, seed)?;
-        rows.push((size, sps, rb));
-    }
-    for (size, sps, rb) in &rows {
-        if *size == 4096 {
-            base = Some((sps.ipc(), rb.ipc()));
+        for kind in [WorkloadKind::Sps, WorkloadKind::Rbtree] {
+            cells.push((format!("tc-size {size} B/{kind}"), machine.clone(), kind));
         }
-        let _ = base;
     }
+    let reports = run_cells(cells, scale, seed, &RunConfig::default(), opts)?;
+    let rows: Vec<(u64, RunReport, RunReport)> = sizes
+        .iter()
+        .zip(reports.chunks_exact(2))
+        .map(|(&size, pair)| (size, pair[0].clone(), pair[1].clone()))
+        .collect();
     let (b_sps, b_rb) = rows
         .iter()
         .find(|(s, _, _)| *s == 4096)
@@ -593,7 +628,7 @@ pub fn ablation_txcache_size(scale: Scale, seed: u64) -> Result<FigTable, SimErr
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn ablation_overflow(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn ablation_overflow(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let mut t = FigTable::new(
         "Ablation B",
         "Overflow (COW fall-back) threshold sweep, 512 B TC, rbtree",
@@ -607,11 +642,22 @@ pub fn ablation_overflow(scale: Scale, seed: u64) -> Result<FigTable, SimError> 
             "COW NVM writes".into(),
         ],
     );
-    for threshold in [0.5, 0.7, 0.9, 1.0] {
-        let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
-        machine.txcache.size_bytes = 512;
-        machine.txcache.overflow_threshold = threshold;
-        let r = run_cell(machine, WorkloadKind::Rbtree, scale, seed)?;
+    let thresholds = [0.5, 0.7, 0.9, 1.0];
+    let cells = thresholds
+        .iter()
+        .map(|&threshold| {
+            let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
+            machine.txcache.size_bytes = 512;
+            machine.txcache.overflow_threshold = threshold;
+            (
+                format!("overflow {:.0}%/rbtree", threshold * 100.0),
+                machine,
+                WorkloadKind::Rbtree,
+            )
+        })
+        .collect();
+    let reports = run_cells(cells, scale, seed, &RunConfig::default(), opts)?;
+    for (threshold, r) in thresholds.iter().zip(reports) {
         t.push_row(vec![
             format!("{:.0}%", threshold * 100.0),
             format!("{:.4}", r.ipc()),
@@ -628,7 +674,7 @@ pub fn ablation_overflow(scale: Scale, seed: u64) -> Result<FigTable, SimError> 
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn ablation_nvm_latency(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn ablation_nvm_latency(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let mut t = FigTable::new(
         "Ablation C",
         "NVM technology sensitivity (rbtree)",
@@ -655,29 +701,28 @@ pub fn ablation_nvm_latency(scale: Scale, seed: u64) -> Result<FigTable, SimErro
         "PCM 85/350 ns".to_string(),
         pmacc_types::MemConfig::pcm(),
     ));
-    for (label, nvm) in sweep {
-        let mut results = Vec::new();
-        let mut opt = 0.0;
-        for scheme in [
-            SchemeKind::Optimal,
-            SchemeKind::Sp,
-            SchemeKind::TxCache,
-            SchemeKind::NvLlc,
-        ] {
+    let schemes = [
+        SchemeKind::Optimal,
+        SchemeKind::Sp,
+        SchemeKind::TxCache,
+        SchemeKind::NvLlc,
+    ];
+    let mut cells = Vec::new();
+    for (label, nvm) in &sweep {
+        for scheme in schemes {
             let mut machine = scale.machine().with_scheme(scheme);
-            machine.nvm = nvm;
-            let r = run_cell(machine, WorkloadKind::Rbtree, scale, seed)?;
-            if scheme == SchemeKind::Optimal {
-                opt = r.ipc();
-            } else {
-                results.push(r.ipc());
-            }
+            machine.nvm = *nvm;
+            cells.push((format!("nvm {label}/{scheme}"), machine, WorkloadKind::Rbtree));
         }
+    }
+    let reports = run_cells(cells, scale, seed, &RunConfig::default(), opts)?;
+    for ((label, _), point) in sweep.into_iter().zip(reports.chunks_exact(schemes.len())) {
+        let opt = point[0].ipc(); // Optimal is submitted first per point.
         t.push_row(vec![
             label,
-            norm(results[0] / opt),
-            norm(results[1] / opt),
-            norm(results[2] / opt),
+            norm(point[1].ipc() / opt),
+            norm(point[2].ipc() / opt),
+            norm(point[3].ipc() / opt),
         ]);
     }
     Ok(t)
@@ -689,7 +734,7 @@ pub fn ablation_nvm_latency(scale: Scale, seed: u64) -> Result<FigTable, SimErro
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn ablation_coalesce(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn ablation_coalesce(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let mut t = FigTable::new(
         "Ablation D",
         "Within-transaction coalescing in the transaction cache (btree)",
@@ -704,10 +749,21 @@ pub fn ablation_coalesce(scale: Scale, seed: u64) -> Result<FigTable, SimError> 
             "overflows".into(),
         ],
     );
-    for coalesce in [false, true] {
-        let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
-        machine.txcache.coalesce = coalesce;
-        let r = run_cell(machine, WorkloadKind::Btree, scale, seed)?;
+    let modes = [false, true];
+    let cells = modes
+        .iter()
+        .map(|&coalesce| {
+            let mut machine = scale.machine().with_scheme(SchemeKind::TxCache);
+            machine.txcache.coalesce = coalesce;
+            (
+                format!("coalesce {}/btree", if coalesce { "on" } else { "off" }),
+                machine,
+                WorkloadKind::Btree,
+            )
+        })
+        .collect();
+    let reports = run_cells(cells, scale, seed, &RunConfig::default(), opts)?;
+    for (coalesce, r) in modes.into_iter().zip(reports) {
         let inserts: u64 = r.tc.iter().map(|s| s.inserts.value()).sum();
         let coalesced: u64 = r.tc.iter().map(|s| s.coalesced.value()).sum();
         t.push_row(vec![
@@ -728,7 +784,7 @@ pub fn ablation_coalesce(scale: Scale, seed: u64) -> Result<FigTable, SimError> 
 /// # Errors
 ///
 /// Returns the first simulation error.
-pub fn ablation_sp_fencing(scale: Scale, seed: u64) -> Result<FigTable, SimError> {
+pub fn ablation_sp_fencing(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
     let mut t = FigTable::new(
         "Ablation E",
         "SP write-order control: strict vs batched fencing (sps)",
@@ -743,27 +799,43 @@ pub fn ablation_sp_fencing(scale: Scale, seed: u64) -> Result<FigTable, SimError
     );
     let params = scale.params(seed);
     let machine = scale.machine();
-    let opt = run_cell(machine.clone().with_scheme(SchemeKind::Optimal), WorkloadKind::Sps, scale, seed)?;
-    for mode in [SpMode::Batched, SpMode::Strict] {
-        // Pre-instrument with the requested mode and run under the SP
-        // runtime (which adds nothing beyond the instrumentation).
+    // One job for the Optimal baseline, one per fencing mode: each SP
+    // job pre-instruments with the requested mode and runs under the SP
+    // runtime (which adds nothing beyond the instrumentation).
+    let mut jobs: Vec<Job<Result<RunReport, SimError>>> = Vec::new();
+    {
+        let machine = machine.clone().with_scheme(SchemeKind::Optimal);
+        jobs.push(Job::new("sp-fencing baseline/sps", move || {
+            run_cell(machine, WorkloadKind::Sps, scale, seed)
+        }));
+    }
+    let modes = [SpMode::Batched, SpMode::Strict];
+    for mode in modes {
         let cfg = machine.clone().with_scheme(SchemeKind::Sp);
-        let mut traces = Vec::new();
-        let mut initial = Vec::new();
-        for core in 0..cfg.cores {
-            let mut p = params;
-            p.seed = params.seed.wrapping_add(core as u64 * 0x9E37_79B9);
-            let w = build(WorkloadKind::Sps, &p);
-            let strided = pmacc::stride_trace(&w.trace, core);
-            traces.push(sp::instrument_with(core, &strided, mode));
-            initial.extend(
-                w.initial
-                    .iter()
-                    .map(|&(a, v)| (pmacc::stride_word(a, core), v)),
-            );
-        }
-        let mut sys = System::new_instrumented(cfg, traces, &initial, &RunConfig::default())?;
-        let r = sys.run()?;
+        jobs.push(Job::new(format!("sp-fencing {mode:?}/sps"), move || {
+            let mut traces = Vec::new();
+            let mut initial = Vec::new();
+            for core in 0..cfg.cores {
+                let mut p = params;
+                p.seed = params.seed.wrapping_add(core as u64 * 0x9E37_79B9);
+                let w = build(WorkloadKind::Sps, &p);
+                let strided = pmacc::stride_trace(&w.trace, core);
+                traces.push(sp::instrument_with(core, &strided, mode));
+                initial.extend(
+                    w.initial
+                        .iter()
+                        .map(|&(a, v)| (pmacc::stride_word(a, core), v)),
+                );
+            }
+            System::new_instrumented(cfg, traces, &initial, &RunConfig::default())?.run()
+        }));
+    }
+    let reports = pool::run_jobs(jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("cell {} (seed {seed}) panicked: {}", p.label, p.message))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    let opt = &reports[0];
+    for (mode, r) in modes.iter().zip(&reports[1..]) {
         t.push_row(vec![
             match mode {
                 SpMode::Batched => "batched (Fig. 3a, default)",

@@ -1,5 +1,31 @@
 //! The §5 experiment matrix: 4 schemes × 5 workloads on the Table 2
 //! machine (capacity-scaled; see `EXPERIMENTS.md`).
+//!
+//! Every cell is one independent [`System`] run — a (workload, scheme)
+//! pair at a [`Scale`] and seed — so the grid fans out over the
+//! [`crate::pool`] worker pool: [`run_grid`] resolves the worker count
+//! from the environment (`PMACC_JOBS`, else all available cores) and
+//! [`run_grid_opts`] takes it explicitly. Results are keyed and ordered
+//! deterministically regardless of which worker finished first, so the
+//! same seed produces the same [`GridResults`] (and the same rendered
+//! `results.md`) at any job count.
+//!
+//! ```no_run
+//! use pmacc_bench::grid::{run_grid_opts, Scale};
+//! use pmacc_bench::pool::Options;
+//! use pmacc::RunConfig;
+//!
+//! // The whole 20-cell grid on 4 workers, with per-cell progress lines.
+//! let grid = run_grid_opts(
+//!     Scale::Quick,
+//!     42,
+//!     &RunConfig::default(),
+//!     &Options { jobs: 4, progress: true },
+//! )?;
+//! println!("TC mean IPC vs Optimal: {:.3}",
+//!     grid.mean_normalized(pmacc_types::SchemeKind::TxCache, pmacc::RunReport::ipc));
+//! # Ok::<(), pmacc_types::SimError>(())
+//! ```
 
 use std::collections::BTreeMap;
 
@@ -7,6 +33,8 @@ use pmacc::{RunConfig, RunReport, System};
 
 use pmacc_types::{MachineConfig, SchemeKind, SimError};
 use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+use crate::pool::{self, Job, Options};
 
 /// How large the simulated runs are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,11 +130,13 @@ impl GridResults {
     }
 }
 
-/// Runs the full scheme × workload grid.
+/// Runs the full scheme × workload grid, with the worker count resolved
+/// from the environment (`PMACC_JOBS`, else available parallelism).
 ///
 /// # Errors
 ///
-/// Returns the first simulation error encountered.
+/// Returns the first simulation error encountered (in cell submission
+/// order, which is deterministic).
 pub fn run_grid(scale: Scale, seed: u64, progress: bool) -> Result<GridResults, SimError> {
     run_grid_with(scale, seed, progress, &RunConfig::default())
 }
@@ -122,23 +152,93 @@ pub fn run_grid_with(
     progress: bool,
     run_cfg: &RunConfig,
 ) -> Result<GridResults, SimError> {
-    let mut results = BTreeMap::new();
+    let opts = Options {
+        progress,
+        ..Options::default()
+    };
+    run_grid_opts(scale, seed, run_cfg, &opts)
+}
+
+/// Runs the grid with an explicit worker count: every (workload, scheme)
+/// cell becomes one job on the [`crate::pool`] worker pool.
+///
+/// The result map is keyed, not positional, and the pool returns jobs in
+/// submission order, so `GridResults` is identical at any `opts.jobs` —
+/// the determinism regression test compares `jobs = 1` against
+/// `jobs = 4` bit for bit.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered, in cell submission
+/// order.
+///
+/// # Panics
+///
+/// If a cell panics, the whole grid fails with a panic naming the
+/// offending `workload/scheme` cell and the seed, so it can be replayed
+/// serially (`--jobs 1`) or alone (`simulate --workload W --scheme S`).
+pub fn run_grid_opts(
+    scale: Scale,
+    seed: u64,
+    run_cfg: &RunConfig,
+    opts: &Options,
+) -> Result<GridResults, SimError> {
+    let mut keys = Vec::new();
     for kind in WorkloadKind::all() {
         for scheme in SchemeKind::all() {
-            if progress {
-                eprintln!("  running {kind} / {scheme} ...");
-            }
-            let report = run_cell_with(
-                scale.machine().with_scheme(scheme),
-                kind,
-                scale,
-                seed,
-                run_cfg,
-            )?;
-            results.insert((kind, scheme), report);
+            keys.push((kind, scheme));
         }
     }
+    let jobs: Vec<Job<Result<RunReport, SimError>>> = keys
+        .iter()
+        .map(|&(kind, scheme)| {
+            let machine = scale.machine().with_scheme(scheme);
+            let run_cfg = *run_cfg;
+            Job::new(format!("{kind}/{scheme}"), move || {
+                run_cell_with(machine, kind, scale, seed, &run_cfg)
+            })
+        })
+        .collect();
+    let reports = pool::run_jobs(jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("grid cell {} (seed {seed}) panicked: {}", p.label, p.message));
+    let mut results = BTreeMap::new();
+    for (key, report) in keys.into_iter().zip(reports) {
+        results.insert(key, report?);
+    }
     Ok(GridResults { results, scale })
+}
+
+/// Runs an arbitrary list of labelled cells — the ablation sweeps' shape
+/// — on the worker pool, returning reports in submission order.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered, in submission order.
+///
+/// # Panics
+///
+/// As [`run_grid_opts`]: a panicking cell fails the batch with the cell
+/// label and seed named.
+pub fn run_cells(
+    cells: Vec<(String, MachineConfig, WorkloadKind)>,
+    scale: Scale,
+    seed: u64,
+    run_cfg: &RunConfig,
+    opts: &Options,
+) -> Result<Vec<RunReport>, SimError> {
+    let jobs: Vec<Job<Result<RunReport, SimError>>> = cells
+        .into_iter()
+        .map(|(label, machine, kind)| {
+            let run_cfg = *run_cfg;
+            Job::new(label, move || {
+                run_cell_with(machine, kind, scale, seed, &run_cfg)
+            })
+        })
+        .collect();
+    pool::run_jobs(jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("cell {} (seed {seed}) panicked: {}", p.label, p.message))
+        .into_iter()
+        .collect()
 }
 
 /// Runs one cell of the grid (or an ablation variant of it).

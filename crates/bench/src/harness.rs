@@ -13,6 +13,11 @@
 //!   sample is one iteration). When set, it overrides in-code
 //!   [`Harness::sample_size`]/[`Group::sample_size`] calls too, so one
 //!   variable shrinks or deepens every bench target at once.
+//! * `PMACC_JOBS` — worker count for any grid or sweep a bench target
+//!   sets up through [`crate::grid`]/[`crate::pool`] (the *timed*
+//!   closures themselves are single cells and are unaffected). Set
+//!   `PMACC_JOBS=1` when timing, so pool workers never compete with the
+//!   measured iteration for cores.
 //!
 //! # Example
 //!

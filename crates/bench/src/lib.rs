@@ -3,18 +3,23 @@
 //! transaction-cache paper.
 //!
 //! The [`grid`] module runs the §5 experiment matrix (4 schemes × 5
-//! workloads); [`figures`] turns grids into the paper's tables and
-//! figures as markdown; the `reproduce` binary drives everything:
+//! workloads), fanned out over the [`pool`] worker pool (one job per
+//! independent cell, `PMACC_JOBS`/`--jobs` workers, bit-identical
+//! results at any job count); [`figures`] turns grids into the paper's
+//! tables and figures as markdown; the `reproduce` binary drives
+//! everything:
 //!
 //! ```text
 //! cargo run --release -p pmacc-bench --bin reproduce            # all
 //! cargo run --release -p pmacc-bench --bin reproduce -- fig6    # one
 //! cargo run --release -p pmacc-bench --bin reproduce -- --quick # faster
+//! cargo run --release -p pmacc-bench --bin reproduce -- --jobs 4 # bound fan-out
 //! ```
 
 pub mod figures;
 pub mod grid;
 pub mod harness;
+pub mod pool;
 pub mod table;
 
 pub use grid::{run_grid, GridResults, Scale};

@@ -1,0 +1,315 @@
+//! A zero-dependency bounded worker pool for embarrassingly-parallel
+//! experiment cells.
+//!
+//! Every cell of the §5 experiment grid (and of the ablation sweeps) is
+//! an independent [`pmacc::System`] run that owns all of its state, so
+//! the whole matrix is a textbook fan-out. This module supplies the one
+//! concurrency primitive the harness needs — a fixed pool of
+//! [`std::thread::scope`]d workers draining a job list — without pulling
+//! in `rayon` or any other external crate, preserving the workspace's
+//! offline, zero-dependency guarantee.
+//!
+//! Guarantees:
+//!
+//! * **Deterministic output order.** [`run_jobs`] returns results in
+//!   submission order no matter which worker finished which job first;
+//!   running the same job list at any worker count yields the same
+//!   `Vec`. Simulation results are therefore bit-identical at `--jobs 1`
+//!   and `--jobs N` (the jobs themselves are seeded and share nothing).
+//! * **Panic capture.** A panicking job does not tear down the process
+//!   from a worker thread; the pool stops handing out new jobs, lets
+//!   in-flight jobs finish, and reports the first panicked job (in
+//!   submission order) as a [`JobPanic`] naming the job's label so the
+//!   offending (workload, scheme, seed) cell can be replayed serially.
+//! * **Per-cell progress.** With `progress = true`, one line per
+//!   completed job goes to stderr, prefixed with the job label and a
+//!   `completed/total` counter — readable even when cells finish out of
+//!   order.
+//!
+//! Worker count resolution: explicit `--jobs N` flags beat the
+//! `PMACC_JOBS` environment variable, which beats
+//! [`std::thread::available_parallelism`] (see [`default_jobs`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pmacc_bench::pool::{run_jobs, Job};
+//!
+//! let jobs: Vec<Job<u64>> = (0..4u64)
+//!     .map(|i| Job::new(format!("square {i}"), move || i * i))
+//!     .collect();
+//! let squares = run_jobs(jobs, 2, false).expect("no job panics");
+//! assert_eq!(squares, vec![0, 1, 4, 9]); // submission order, always
+//! ```
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of work: a label (used in progress lines and panic reports)
+/// plus the closure that produces the result.
+pub struct Job<T> {
+    label: String,
+    work: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> Job<T> {
+    /// Packages `work` under `label`.
+    pub fn new(label: impl Into<String>, work: impl FnOnce() -> T + Send + 'static) -> Self {
+        Job {
+            label: label.into(),
+            work: Box::new(work),
+        }
+    }
+
+    /// The job's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<T> fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Job").field("label", &self.label).finish()
+    }
+}
+
+/// A job panicked inside the pool: which one, and what it said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Label of the panicking job (for a grid cell: `workload/scheme`).
+    pub label: String,
+    /// The panic payload, if it was a string (panics almost always are).
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job `{}` panicked: {}", self.label, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// How a batch of jobs runs: worker count and progress reporting.
+///
+/// [`Options::default`] resolves the worker count from the environment
+/// ([`default_jobs`]) and keeps progress off — the right setting for
+/// library callers and benches. The `reproduce` binary overrides both.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Number of worker threads (clamped to at least 1, at most the
+    /// number of jobs).
+    pub jobs: usize,
+    /// Print one stderr line per completed job.
+    pub progress: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            jobs: default_jobs(),
+            progress: false,
+        }
+    }
+}
+
+/// The default worker count: `PMACC_JOBS` if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::env::var("PMACC_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// A result slot: filled exactly once by whichever worker ran the job.
+enum Slot<T> {
+    Todo(Job<T>),
+    Done(T),
+    Panicked(JobPanic),
+    /// Skipped because an earlier job panicked (never handed out), or
+    /// currently running.
+    Taken,
+}
+
+/// Runs `jobs` on `workers` threads, returning results in submission
+/// order.
+///
+/// `workers` is clamped to `1..=jobs.len()`. With `workers == 1` the
+/// jobs run inline on the calling thread (no spawn), in submission
+/// order — the serial baseline the determinism tests compare against.
+///
+/// # Errors
+///
+/// If any job panics, returns the first panicked job in *submission*
+/// order (not completion order, which would be racy). Jobs not yet
+/// started when the panic was observed are skipped; in-flight jobs run
+/// to completion.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, workers: usize, progress: bool) -> Result<Vec<T>, JobPanic> {
+    let total = jobs.len();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = workers.clamp(1, total);
+    let slots: Vec<Mutex<Slot<T>>> = jobs.into_iter().map(|j| Mutex::new(Slot::Todo(j))).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+
+    let run_one = |i: usize| {
+        let job = {
+            let mut slot = slots[i].lock().expect("pool slot lock");
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Todo(job) => job,
+                _ => unreachable!("job index handed out twice"),
+            }
+        };
+        let label = job.label;
+        let outcome = catch_unwind(AssertUnwindSafe(job.work));
+        let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let filled = match outcome {
+            Ok(value) => {
+                if progress {
+                    eprintln!("  [{completed:>3}/{total}] {label}");
+                }
+                Slot::Done(value)
+            }
+            Err(payload) => {
+                poisoned.store(true, Ordering::Relaxed);
+                let message = panic_message(payload.as_ref());
+                if progress {
+                    eprintln!("  [{completed:>3}/{total}] {label} PANICKED: {message}");
+                }
+                Slot::Panicked(JobPanic { label, message })
+            }
+        };
+        *slots[i].lock().expect("pool slot lock") = filled;
+    };
+
+    if workers == 1 {
+        for i in 0..total {
+            if poisoned.load(Ordering::Relaxed) {
+                break;
+            }
+            run_one(i);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    run_one(i);
+                });
+            }
+        });
+    }
+
+    let mut out = Vec::with_capacity(total);
+    let mut first_panic = None;
+    for slot in slots {
+        match slot.into_inner().expect("pool slot lock") {
+            Slot::Done(v) => out.push(v),
+            Slot::Panicked(p) if first_panic.is_none() => first_panic = Some(p),
+            _ => {}
+        }
+    }
+    match first_panic {
+        Some(p) => Err(p),
+        None => Ok(out),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: u64) -> Vec<Job<u64>> {
+        (0..n)
+            .map(|i| Job::new(format!("sq {i}"), move || i * i))
+            .collect()
+    }
+
+    #[test]
+    fn results_keep_submission_order_at_any_worker_count() {
+        let expect: Vec<u64> = (0..32).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(run_jobs(squares(32), workers, false).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert_eq!(run_jobs(Vec::<Job<u8>>::new(), 4, false).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn panic_is_captured_with_its_label() {
+        let mut jobs = squares(3);
+        jobs.insert(
+            1,
+            Job::new("the bad cell", || -> u64 { panic!("boom at seed 7") }),
+        );
+        let err = run_jobs(jobs, 2, false).unwrap_err();
+        assert_eq!(err.label, "the bad cell");
+        assert!(err.message.contains("boom at seed 7"), "{}", err.message);
+    }
+
+    #[test]
+    fn earliest_submitted_panic_wins_serially() {
+        let jobs = vec![
+            Job::new("first bad", || -> u8 { panic!("first") }),
+            Job::new("second bad", || -> u8 { panic!("second") }),
+        ];
+        let err = run_jobs(jobs, 1, false).unwrap_err();
+        assert_eq!(err.label, "first bad");
+    }
+
+    #[test]
+    fn serial_path_stops_after_a_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let ran = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job<()>> = (0..4)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                Job::new(format!("job {i}"), move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    assert!(i != 1, "job 1 dies");
+                })
+            })
+            .collect();
+        let err = run_jobs(jobs, 1, false).unwrap_err();
+        assert_eq!(err.label, "job 1");
+        // Jobs 0 and 1 ran; 2 and 3 were skipped once the pool poisoned.
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

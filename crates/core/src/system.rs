@@ -1665,6 +1665,20 @@ pub fn stride_word(w: WordAddr, core: usize) -> WordAddr {
     stride_addr(w.to_addr(), core).word()
 }
 
+// The experiment harness fans independent `System` runs out across
+// threads (`pmacc_bench::pool`); each cell owns its entire machine, so
+// these types must stay `Send`. Compile-time audit — introducing a
+// non-`Send` field (`Rc`, `RefCell`-of-shared, raw pointer) breaks the
+// build here, not at the distant pool call site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<RunConfig>();
+    assert_send::<crate::RunReport>();
+    assert_send::<crate::recovery::CrashState>();
+    assert_send::<crate::TxCache>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

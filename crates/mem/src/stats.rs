@@ -1,6 +1,6 @@
 //! Per-channel statistics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pmacc_types::{Counter, Histogram, LineAddr, Ratio, WriteCause};
 
@@ -26,8 +26,11 @@ pub struct MemStats {
     pub coalesced_writes: Counter,
     /// Device writes per line — the endurance/wear profile. NVM cells
     /// wear out with writes, so persistence schemes are also judged by
-    /// how hard they hammer hot lines.
-    pub writes_per_line: HashMap<LineAddr, u64>,
+    /// how hard they hammer hot lines. A `BTreeMap` so that iteration,
+    /// `Debug` rendering and [`MemStats::hottest_line`] tie-breaking are
+    /// deterministic — the parallel experiment runner asserts
+    /// bit-identical reports at any worker count.
+    pub writes_per_line: BTreeMap<LineAddr, u64>,
 }
 
 impl MemStats {

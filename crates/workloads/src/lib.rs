@@ -49,3 +49,13 @@ pub use session::MemSession;
 pub use skiplist::{SkipList, MAX_LEVEL};
 pub use sps::SwapArray;
 pub use suite::{build, WorkloadKind, WorkloadParams, WorkloadTrace};
+
+// Workload generation runs inside the experiment harness's worker
+// threads (`pmacc_bench::pool`), so generated traces and their
+// parameters must stay `Send`; audited at compile time here.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<WorkloadTrace>();
+    assert_send::<WorkloadParams>();
+    assert_send::<WorkloadKind>();
+};

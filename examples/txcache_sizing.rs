@@ -3,33 +3,48 @@
 //! the transaction sizes of the processor's target applications".
 //!
 //! Sweeps the per-core TC capacity on the write-heavy `sps` benchmark and
-//! reports where stalls and copy-on-write overflows disappear.
+//! reports where stalls and copy-on-write overflows disappear. Every
+//! sweep point is an independent simulation, so the sweep fans out over
+//! the `pmacc_bench::pool` worker pool (`PMACC_JOBS` bounds the worker
+//! count); results print in size order regardless of completion order.
 //!
 //! ```text
-//! cargo run --release -p pmacc --example txcache_sizing
+//! cargo run --release -p pmacc-bench --example txcache_sizing
 //! ```
 
 use std::error::Error;
 
-use pmacc::{RunConfig, System};
+use pmacc::{RunConfig, RunReport, System};
+use pmacc_bench::pool::{run_jobs, Job};
 use pmacc_cpu::StallKind;
-use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_types::{MachineConfig, SchemeKind, SimError};
 use pmacc_workloads::{WorkloadKind, WorkloadParams};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut params = WorkloadParams::evaluation(3);
     params.num_ops = 2_000;
 
+    let sizes = [256u64, 512, 1024, 2048, 4096, 8192];
+    let jobs: Vec<Job<Result<RunReport, SimError>>> = sizes
+        .iter()
+        .map(|&size| {
+            Job::new(format!("tc {size} B/sps"), move || {
+                let mut machine =
+                    MachineConfig::dac17_scaled().with_scheme(SchemeKind::TxCache);
+                machine.txcache.size_bytes = size;
+                System::for_workload(machine, WorkloadKind::Sps, &params, &RunConfig::default())?
+                    .run()
+            })
+        })
+        .collect();
+    let reports = run_jobs(jobs, pmacc_bench::pool::default_jobs(), false)?;
+
     println!(
         "{:>8} | {:>9} | {:>11} | {:>9} | {:>12}",
         "TC size", "IPC", "full stalls", "overflows", "drain writes"
     );
-    for size in [256u64, 512, 1024, 2048, 4096, 8192] {
-        let mut machine = MachineConfig::dac17_scaled().with_scheme(SchemeKind::TxCache);
-        machine.txcache.size_bytes = size;
-        let mut sys =
-            System::for_workload(machine, WorkloadKind::Sps, &params, &RunConfig::default())?;
-        let r = sys.run()?;
+    for (size, r) in sizes.iter().zip(reports) {
+        let r = r?;
         println!(
             "{:>6} B | {:>9.4} | {:>10.4}% | {:>9} | {:>12}",
             size,

@@ -1,0 +1,98 @@
+//! The parallel experiment runner must be *invisible* in the results:
+//! the same seed has to produce a bit-identical grid at any worker
+//! count, and a panicking cell must fail the whole batch with the
+//! offending cell named rather than tearing down a worker thread.
+//!
+//! This is the regression gate for `pmacc_bench::pool` — every
+//! (workload, scheme) cell owns its entire simulated machine, so the
+//! only way parallelism can change results is a shared-state bug.
+
+use pmacc::RunConfig;
+use pmacc_bench::grid::{run_grid_opts, Scale};
+use pmacc_bench::pool::{run_jobs, Job, Options};
+use pmacc_types::SimError;
+
+/// Every digit of every statistic, not just the headline metrics: the
+/// `Debug` rendering covers all public fields of every report.
+fn fingerprint(grid: &pmacc_bench::GridResults) -> String {
+    format!("{:?}", grid.results)
+}
+
+#[test]
+fn quick_grid_is_bit_identical_at_jobs_1_and_jobs_4() {
+    let serial = run_grid_opts(
+        Scale::Quick,
+        42,
+        &RunConfig::default(),
+        &Options {
+            jobs: 1,
+            progress: false,
+        },
+    )
+    .expect("serial grid runs");
+    let parallel = run_grid_opts(
+        Scale::Quick,
+        42,
+        &RunConfig::default(),
+        &Options {
+            jobs: 4,
+            progress: false,
+        },
+    )
+    .expect("parallel grid runs");
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "a 4-worker grid diverged from the serial baseline at the same seed"
+    );
+}
+
+#[test]
+fn pool_preserves_submission_order_with_unequal_job_durations() {
+    // The first-submitted jobs sleep longest, so with 4 workers the
+    // completion order is roughly the reverse of submission order; the
+    // returned Vec must still be in submission order.
+    let jobs: Vec<Job<usize>> = (0..8)
+        .map(|i| {
+            Job::new(format!("sleepy {i}"), move || {
+                std::thread::sleep(std::time::Duration::from_millis((8 - i) as u64 * 15));
+                i
+            })
+        })
+        .collect();
+    let out = run_jobs(jobs, 4, false).expect("no panics");
+    assert_eq!(out, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn pool_panic_names_the_offending_cell() {
+    let jobs: Vec<Job<Result<u64, SimError>>> = vec![
+        Job::new("rbtree/tc", || Ok(1)),
+        Job::new("sps/nvllc seed 42", || {
+            panic!("deadlock at cycle 1234")
+        }),
+        Job::new("btree/sp", || Ok(3)),
+    ];
+    let err = run_jobs(jobs, 4, false).expect_err("the panic must surface");
+    assert_eq!(err.label, "sps/nvllc seed 42");
+    assert!(
+        err.message.contains("deadlock at cycle 1234"),
+        "panic payload lost: {}",
+        err.message
+    );
+}
+
+#[test]
+fn pool_panic_does_not_lose_the_batch_silently() {
+    // A panicking cell in the middle must not let the caller observe a
+    // truncated-but-Ok result vector.
+    let jobs: Vec<Job<u8>> = (0..8)
+        .map(|i| {
+            Job::new(format!("cell {i}"), move || {
+                assert!(i != 3, "cell 3 is broken");
+                i
+            })
+        })
+        .collect();
+    assert!(run_jobs(jobs, 2, false).is_err());
+}
