@@ -25,8 +25,28 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 
 # Smoke-run the parallel experiment path end to end: a quick-scale grid
 # fanned out over the pool (PMACC_JOBS=4 exercises the multi-worker code
-# even on small CI boxes) rendered to one figure.
+# even on small CI boxes) rendered to one figure, plus the JSON emitter.
 echo "==> reproduce --quick fig6 (parallel smoke run, 4 workers)"
-PMACC_JOBS=4 cargo run --release --offline -q -p pmacc-bench --bin reproduce -- --quick fig6 > /dev/null
+smoke_json="$(mktemp)"
+PMACC_JOBS=4 cargo run --release --offline -q -p pmacc-bench --bin reproduce -- \
+    --quick fig6 --json "$smoke_json" > /dev/null
+test -s "$smoke_json" || { echo "reproduce --json wrote nothing" >&2; exit 1; }
+rm -f "$smoke_json"
+
+# Calibration regression gate: a fresh quick-scale grid's key metrics
+# (normalized figure means, per-cell IPC, stall fractions, NVM writes by
+# cause) must match baselines/metrics-quick.json within each metric's
+# relative tolerance. The same run's metrics are published as
+# BENCH_pmacc.json for cross-commit trend tracking. A PR that changes
+# calibration *on purpose* refreshes the baseline
+# (`regress --write-baseline`, commit the result) — or sets
+# PMACC_SKIP_REGRESS=1 while iterating.
+if [[ "${PMACC_SKIP_REGRESS:-0}" == "1" ]]; then
+    echo "==> regress skipped (PMACC_SKIP_REGRESS=1)"
+else
+    echo "==> regress --quick (calibration gate, 4 workers)"
+    PMACC_JOBS=4 cargo run --release --offline -q -p pmacc-bench --bin regress -- \
+        --quick --json BENCH_pmacc.json
+fi
 
 echo "==> ci.sh: all green"

@@ -1,28 +1,35 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [--quick|--full] [--jobs N] [--seed N] [experiment ...]
-//!
-//! experiments: fig6 fig7 fig8 fig9 fig10 table1 table2 table3 stalls
-//!              ablation-size ablation-overflow ablation-nvm
-//!              ablation-coalesce ablation-sp-fencing
+//! reproduce [--quick|--full] [--bars] [--csv DIR] [--json FILE]
+//!           [--seed N] [--jobs N] [--list] [experiment ...]
 //! ```
 //!
-//! With no experiment arguments, everything runs. Output is markdown on
-//! stdout (progress goes to stderr), so `reproduce > results.md` captures
-//! a complete report.
+//! With no experiment arguments, everything runs; `--list` prints the
+//! experiment names (one per line, the authoritative list — this doc
+//! comment deliberately does not repeat it). A mistyped name exits
+//! nonzero with a "did you mean" suggestion.
+//!
+//! Output is markdown on stdout (progress goes to stderr), so
+//! `reproduce > results.md` captures a complete report. `--json FILE`
+//! additionally writes the machine-readable document assembled by
+//! [`pmacc_bench::report::full_report`] — per-cell reports with sampled
+//! time series, key metrics, and every rendered table — for plotting
+//! tools and the `regress` gate's `BENCH` artifacts.
 //!
 //! Independent simulation cells fan out over the `pmacc_bench::pool`
 //! worker pool: `--jobs N` (or the `PMACC_JOBS` environment variable)
 //! bounds the worker count, defaulting to all available cores. Results
-//! are bit-identical at any job count for the same seed.
+//! — including the `--json` document, byte for byte — are identical at
+//! any job count for the same seed.
 
 use std::process::ExitCode;
 
+use pmacc::RunConfig;
 use pmacc_bench::figures;
 use pmacc_bench::grid::{run_grid_opts, Scale};
 use pmacc_bench::pool::Options;
-use pmacc::RunConfig;
+use pmacc_bench::{report, suggest};
 use pmacc_types::MachineConfig;
 
 const GRID_EXPERIMENTS: [&str; 9] = [
@@ -59,11 +66,21 @@ const ALL_EXPERIMENTS: [&str; 20] = [
     "ablation-sp-fencing",
 ];
 
+fn usage() -> String {
+    format!(
+        "usage: reproduce [--quick|--full] [--bars] [--csv DIR] [--json FILE] \
+         [--seed N] [--jobs N] [--list] [experiment ...]\n\
+         experiments: {}",
+        ALL_EXPERIMENTS.join(" ")
+    )
+}
+
 fn main() -> ExitCode {
     let mut scale = Scale::Default;
     let mut seed = 42u64;
     let mut bars = false;
     let mut csv_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut opts = Options {
         progress: true,
         ..Options::default()
@@ -75,12 +92,25 @@ fn main() -> ExitCode {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--bars" => bars = true,
+            "--list" => {
+                for e in ALL_EXPERIMENTS {
+                    println!("{e}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--csv" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--csv needs a directory");
                     return ExitCode::FAILURE;
                 };
                 csv_dir = Some(dir);
+            }
+            "--json" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--json needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(path);
             }
             "--seed" => {
                 let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
@@ -97,16 +127,16 @@ fn main() -> ExitCode {
                 opts.jobs = v;
             }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: reproduce [--quick|--full] [--bars] [--csv DIR] \
-                     [--seed N] [--jobs N] [experiment ...]"
-                );
-                eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                eprintln!("{}", usage());
                 return ExitCode::SUCCESS;
             }
             other if ALL_EXPERIMENTS.contains(&other) => wanted.push(other.to_string()),
             other => {
-                eprintln!("unknown experiment `{other}`; known: {}", ALL_EXPERIMENTS.join(" "));
+                match suggest::closest(other, &ALL_EXPERIMENTS) {
+                    Some(s) => eprintln!("unknown experiment `{other}`; did you mean `{s}`?"),
+                    None => eprintln!("unknown experiment `{other}`"),
+                }
+                eprintln!("run `reproduce --list` for the experiment names");
                 return ExitCode::FAILURE;
             }
         }
@@ -117,16 +147,16 @@ fn main() -> ExitCode {
 
     println!("# pmacc reproduction report\n");
     println!(
-        "Scale: {:?}; seed: {seed}; machine: Table 2, capacity-scaled for the grid.\n",
-        scale
+        "Scale: {scale}; seed: {seed}; machine: Table 2, capacity-scaled for the grid.\n"
     );
 
-    // The five figures share one grid; run it once if any is requested.
+    // The grid-derived figures share one grid; run it once if any is
+    // requested.
     let needs_grid = wanted.iter().any(|w| GRID_EXPERIMENTS.contains(&w.as_str()));
     let grid = if needs_grid {
         eprintln!(
-            "running the {:?} scheme x workload grid on {} worker(s) ...",
-            scale, opts.jobs
+            "running the {scale} scheme x workload grid on {} worker(s) ...",
+            opts.jobs
         );
         match run_grid_opts(scale, seed, &RunConfig::default(), &opts) {
             Ok(g) => Some(g),
@@ -139,6 +169,7 @@ fn main() -> ExitCode {
         None
     };
 
+    let mut rendered: Vec<(String, pmacc_bench::FigTable)> = Vec::new();
     for w in &wanted {
         eprintln!("rendering {w} ...");
         let table = match w.as_str() {
@@ -180,12 +211,22 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+                rendered.push((w.clone(), t));
             }
             Err(e) => {
                 eprintln!("{w} failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = report::full_report(scale, seed, grid.as_ref(), &rendered);
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
 }

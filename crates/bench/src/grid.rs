@@ -50,6 +50,18 @@ pub enum Scale {
     Full,
 }
 
+impl core::fmt::Display for Scale {
+    /// The lower-case name used on the CLI and in JSON reports
+    /// (`quick`, `default`, `full`).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        })
+    }
+}
+
 impl Scale {
     /// Workload parameters at this scale.
     #[must_use]

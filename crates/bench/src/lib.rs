@@ -6,20 +6,25 @@
 //! workloads), fanned out over the [`pool`] worker pool (one job per
 //! independent cell, `PMACC_JOBS`/`--jobs` workers, bit-identical
 //! results at any job count); [`figures`] turns grids into the paper's
-//! tables and figures as markdown; the `reproduce` binary drives
-//! everything:
+//! tables and figures as markdown; [`report`] flattens the same grids
+//! into machine-readable JSON and backs the regression gate; the
+//! `reproduce` and `regress` binaries drive everything:
 //!
 //! ```text
-//! cargo run --release -p pmacc-bench --bin reproduce            # all
-//! cargo run --release -p pmacc-bench --bin reproduce -- fig6    # one
-//! cargo run --release -p pmacc-bench --bin reproduce -- --quick # faster
-//! cargo run --release -p pmacc-bench --bin reproduce -- --jobs 4 # bound fan-out
+//! cargo run --release -p pmacc-bench --bin reproduce              # all
+//! cargo run --release -p pmacc-bench --bin reproduce -- --list    # names
+//! cargo run --release -p pmacc-bench --bin reproduce -- fig6      # one
+//! cargo run --release -p pmacc-bench --bin reproduce -- --quick \
+//!     --json out.json fig6 fig9                                   # + JSON
+//! cargo run --release -p pmacc-bench --bin regress -- --quick     # gate
 //! ```
 
 pub mod figures;
 pub mod grid;
 pub mod harness;
 pub mod pool;
+pub mod report;
+pub mod suggest;
 pub mod table;
 
 pub use grid::{run_grid, GridResults, Scale};

@@ -1,0 +1,66 @@
+//! "Did you mean ...?" suggestions for mistyped experiment names.
+
+/// Levenshtein edit distance between two ASCII-ish strings, by
+/// characters. Classic two-row dynamic program; both inputs are short
+/// CLI tokens, so no banding is needed.
+#[must_use]
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `input`, if any is close enough to be a
+/// plausible typo rather than an unrelated word. "Close enough" is an
+/// edit distance of at most a third of the input length (minimum 2, so
+/// short names still match one-letter slips), ties broken by candidate
+/// order.
+#[must_use]
+pub fn closest<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let cutoff = (input.chars().count() / 3).max(2);
+    candidates
+        .iter()
+        .map(|&c| (edit_distance(input, c), c))
+        .filter(|&(d, _)| d <= cutoff)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("fig6", "fig6"), 0);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("fig9", "fig9-breakdown"), 10);
+    }
+
+    #[test]
+    fn typos_get_a_suggestion() {
+        let names = ["fig6", "fig9-breakdown", "stalls", "ablation-size"];
+        assert_eq!(closest("fig66", &names), Some("fig6"));
+        assert_eq!(closest("stals", &names), Some("stalls"));
+        assert_eq!(closest("ablation-sz", &names), Some("ablation-size"));
+    }
+
+    #[test]
+    fn unrelated_input_gets_none() {
+        let names = ["fig6", "stalls"];
+        assert_eq!(closest("completely-different", &names), None);
+        assert_eq!(closest("", &names), None);
+    }
+}

@@ -131,6 +131,21 @@ impl fmt::Display for FigTable {
     }
 }
 
+impl pmacc_telemetry::ToJson for FigTable {
+    /// The table verbatim: id, title, caption, column headers and the
+    /// formatted row cells (strings, exactly as rendered to markdown).
+    fn to_json(&self) -> pmacc_telemetry::Json {
+        use pmacc_telemetry::Json;
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("caption", self.caption.to_json()),
+            ("columns", self.columns.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
 /// Formats a normalized value to three decimals.
 #[must_use]
 pub fn norm(x: f64) -> String {

@@ -1,5 +1,6 @@
 //! Per-level and hierarchy-wide cache statistics.
 
+use pmacc_telemetry::{Json, ToJson};
 use pmacc_types::{Counter, Ratio};
 
 /// Counters for one cache instance. Figure 8 of the paper (LLC miss rate)
@@ -34,6 +35,21 @@ impl CacheStats {
     }
 }
 
+impl ToJson for CacheStats {
+    /// Access ratio, derived miss rate and the eviction/pin counters.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accesses", self.accesses.to_json()),
+            ("miss_rate", self.miss_rate().to_json()),
+            ("evictions", self.evictions.to_json()),
+            ("dirty_evictions", self.dirty_evictions.to_json()),
+            ("persistent_dirty_evictions", self.persistent_dirty_evictions.to_json()),
+            ("pin_blocked", self.pin_blocked.to_json()),
+            ("forced_unpins", self.forced_unpins.to_json()),
+        ])
+    }
+}
+
 /// Statistics of the whole hierarchy.
 #[derive(Debug, Clone, Default)]
 pub struct HierarchyStats {
@@ -54,6 +70,17 @@ impl HierarchyStats {
             l2: vec![CacheStats::new(); cores],
             llc: CacheStats::new(),
         }
+    }
+}
+
+impl ToJson for HierarchyStats {
+    /// Per-core L1/L2 arrays plus the shared LLC.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("l1", self.l1.to_json()),
+            ("l2", self.l2.to_json()),
+            ("llc", self.llc.to_json()),
+        ])
     }
 }
 

@@ -5,6 +5,7 @@ use core::fmt;
 use pmacc_cache::HierarchyStats;
 use pmacc_cpu::{CoreStats, StallKind};
 use pmacc_mem::MemStats;
+use pmacc_telemetry::{Json, SeriesReport, ToJson};
 use pmacc_types::{Cycle, SchemeKind, WriteCause};
 
 use crate::txcache::TcStats;
@@ -31,6 +32,10 @@ pub struct RunReport {
     /// Dirty persistent lines still cached at the end of the run that the
     /// NVM is owed (zero under the TC scheme, which drops them).
     pub residual_nvm_lines: u64,
+    /// Cycle-sampled time series (TC occupancy, queue depths, store-
+    /// buffer fill, stall fractions); empty when sampling is disabled
+    /// via [`crate::RunConfig::sample_period`].
+    pub series: SeriesReport,
 }
 
 impl RunReport {
@@ -115,6 +120,58 @@ impl RunReport {
     }
 }
 
+impl ToJson for TcStats {
+    /// The CAM/FIFO event counters.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("inserts", self.inserts.to_json()),
+            ("coalesced", self.coalesced.to_json()),
+            ("commits", self.commits.to_json()),
+            ("acks", self.acks.to_json()),
+            ("probe_hits", self.probe_hits.to_json()),
+            ("probe_misses", self.probe_misses.to_json()),
+            ("full_rejections", self.full_rejections.to_json()),
+            ("overflows", self.overflows.to_json()),
+            ("high_water", self.high_water.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RunReport {
+    /// The full structured report: headline derived metrics first, then
+    /// every component's statistics, then the sampled time series. This
+    /// is the per-cell payload of `reproduce --json`.
+    fn to_json(&self) -> Json {
+        let stall_fractions = Json::Obj(
+            StallKind::all()
+                .iter()
+                .map(|k| (k.to_string(), self.stall_fraction(*k).to_json()))
+                .collect(),
+        );
+        Json::obj([
+            ("scheme", self.scheme.to_string().to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("ipc", self.ipc().to_json()),
+            ("throughput", self.throughput().to_json()),
+            ("tx_committed", self.total_committed().to_json()),
+            ("llc_miss_rate", self.llc_miss_rate().to_json()),
+            ("nvm_write_traffic", self.nvm_write_traffic().to_json()),
+            ("nvm_completed_writes", self.nvm_completed_writes().to_json()),
+            ("residual_nvm_lines", self.residual_nvm_lines.to_json()),
+            ("dropped_llc_writes", self.dropped_llc_writes.to_json()),
+            ("tc_overflows", self.tc_overflows().to_json()),
+            ("persistent_load_latency_mean", self.persistent_load_latency().to_json()),
+            ("stall_fractions", stall_fractions),
+            ("cores", self.cores.to_json()),
+            ("hierarchy", self.hierarchy.to_json()),
+            ("nvm", self.nvm.to_json()),
+            ("dram", self.dram.to_json()),
+            ("tc", self.tc.to_json()),
+            ("series", self.series.to_json()),
+        ])
+    }
+}
+
 impl fmt::Display for RunReport {
     /// A multi-line human-readable summary of the run.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -163,6 +220,7 @@ mod tests {
             tc: Vec::new(),
             dropped_llc_writes: 0,
             residual_nvm_lines: 0,
+            series: SeriesReport::empty(),
         }
     }
 
@@ -183,6 +241,27 @@ mod tests {
         assert!(s.contains("optimal run: 10 cycles"));
         assert!(s.contains("IPC"));
         assert!(s.contains("NVM writes"));
+    }
+
+    #[test]
+    fn json_report_carries_headlines_and_components() {
+        let mut r = empty_report();
+        r.cycles = 100;
+        let mut a = CoreStats::new();
+        a.ops.add(50);
+        a.cycles = 100;
+        r.cores = vec![a];
+        let j = r.to_json();
+        assert_eq!(j.get("scheme").and_then(Json::as_str), Some("optimal"));
+        assert_eq!(j.get("cycles"), Some(&Json::Int(100)));
+        assert!((j.get("ipc").and_then(Json::as_f64).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(j.get("cores").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert!(j.get("stall_fractions").and_then(|s| s.get("txcache-full")).is_some());
+        assert!(j.get("nvm").and_then(|n| n.get("writes_by_cause")).is_some());
+        assert!(j.get("series").and_then(|s| s.get("samples")).is_some());
+        // The document survives a serialize/parse round trip.
+        let parsed = Json::parse(&j.to_pretty()).expect("valid JSON");
+        assert_eq!(parsed, j);
     }
 
     #[test]

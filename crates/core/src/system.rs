@@ -55,6 +55,11 @@ pub struct RunConfig {
     /// `EXPERIMENTS.md` configuration). The recovery journal is *not*
     /// reset — crash consistency always covers the whole run.
     pub warmup_commits: u64,
+    /// Cycles between time-series samples (transaction-cache occupancy,
+    /// memory queue depths, store-buffer fill, per-cause stall
+    /// fractions); the most recent samples ride along in
+    /// [`RunReport::series`]. Zero disables sampling entirely.
+    pub sample_period: Cycle,
 }
 
 impl Default for RunConfig {
@@ -62,7 +67,51 @@ impl Default for RunConfig {
         RunConfig {
             max_cycles: 20_000_000_000,
             warmup_commits: 0,
+            sample_period: 32_768,
         }
+    }
+}
+
+/// Samples the time series retains before the ring starts dropping the
+/// oldest (the report then covers only the tail of the run, and says so
+/// via its `dropped` count).
+const SERIES_CAPACITY: usize = 1024;
+
+/// Cycle-sampled instrumentation state: the recorder plus the previous
+/// per-kind stall totals, so each sample row carries the stall *rate*
+/// over its own window rather than a running total.
+#[derive(Debug)]
+struct Sampler {
+    rec: Option<pmacc_telemetry::SeriesRecorder>,
+    next: Cycle,
+    prev_stalls: [u64; 6],
+}
+
+impl Sampler {
+    fn new(period: Cycle) -> Self {
+        let rec = (period > 0).then(|| {
+            let mut channels = vec![
+                "tc_occupancy".to_string(),
+                "store_buffer".to_string(),
+                "nvm_read_queue".to_string(),
+                "nvm_write_queue".to_string(),
+                "dram_read_queue".to_string(),
+                "dram_write_queue".to_string(),
+            ];
+            channels.extend(StallKind::all().iter().map(|k| format!("stall_frac/{k}")));
+            pmacc_telemetry::SeriesRecorder::new(period, SERIES_CAPACITY, channels)
+        });
+        Sampler {
+            rec,
+            next: period.max(1),
+            prev_stalls: [0; 6],
+        }
+    }
+
+    fn freeze(&self) -> pmacc_telemetry::SeriesReport {
+        self.rec
+            .as_ref()
+            .map_or_else(pmacc_telemetry::SeriesReport::empty, |r| r.freeze())
     }
 }
 
@@ -258,6 +307,7 @@ pub struct System {
     mem_poke_at: [Option<Cycle>; 2],
     tc_drain_at: Vec<Option<Cycle>>,
     run_cfg: RunConfig,
+    sampler: Sampler,
     /// Events processed (performance diagnostic).
     pub events_processed: u64,
     // Cached latencies (cycles).
@@ -364,6 +414,7 @@ impl System {
             mem_poke_at: [None, None],
             tc_drain_at: vec![None; cfg.cores],
             run_cfg: *run_cfg,
+            sampler: Sampler::new(run_cfg.sample_period),
             events_processed: 0,
             lat_l1: freq.ns_to_cycles(cfg.l1.latency_ns),
             lat_l2: freq.ns_to_cycles(cfg.l2.latency_ns),
@@ -535,6 +586,14 @@ impl System {
             let Reverse((t, _, ev)) = self.events.pop().expect("peeked event");
             self.clock = t;
             self.events_processed += 1;
+            // Cycle-sampled telemetry: take every sample point the clock
+            // just crossed (state is as of the last event before it, so
+            // the series is independent of intra-cycle event order).
+            while self.sampler.rec.is_some() && self.sampler.next <= t {
+                let at = self.sampler.next;
+                self.take_sample(at);
+                self.sampler.next += self.run_cfg.sample_period;
+            }
             match ev {
                 Event::CoreStep(c) => self.handle_core_step(c),
                 Event::MemPoke(i) => self.handle_mem_poke(i),
@@ -546,6 +605,35 @@ impl System {
 
     fn all_finished(&self) -> bool {
         self.cores.iter().all(|c| c.finished)
+    }
+
+    /// Records one time-series sample row at cycle `at`: aggregate
+    /// transaction-cache occupancy, store-buffer fill, per-region memory
+    /// queue depths, and the fraction of the elapsed window each stall
+    /// kind cost (stall cycles are booked when a stall *ends*, so a long
+    /// stall lands in the window its wake-up falls into).
+    fn take_sample(&mut self, at: Cycle) {
+        let Some(rec) = self.sampler.rec.as_mut() else {
+            return;
+        };
+        let nvm_writes = self.nvm.outstanding_writes();
+        let dram_writes = self.dram.outstanding_writes();
+        let mut values = vec![
+            self.tcs.iter().map(TxCache::occupancy).sum::<usize>() as f64,
+            self.cores.iter().map(|c| c.sb.len()).sum::<usize>() as f64,
+            self.nvm.outstanding().saturating_sub(nvm_writes) as f64,
+            nvm_writes as f64,
+            self.dram.outstanding().saturating_sub(dram_writes) as f64,
+            dram_writes as f64,
+        ];
+        let window = (self.cores.len() as f64) * (rec.period() as f64);
+        for (i, kind) in StallKind::all().iter().enumerate() {
+            let cur: u64 = self.cores.iter().map(|c| c.stats.stall(*kind)).sum();
+            let delta = cur.saturating_sub(self.sampler.prev_stalls[i]);
+            self.sampler.prev_stalls[i] = cur;
+            values.push(if window > 0.0 { delta as f64 / window } else { 0.0 });
+        }
+        rec.record(at, &values);
     }
 
     /// The oracle's write list for one transaction (empty for serials
@@ -591,6 +679,7 @@ impl System {
             tc: self.tcs.iter().map(|t| t.stats.clone()).collect(),
             dropped_llc_writes: self.dropped_llc_writes.value(),
             residual_nvm_lines,
+            series: self.sampler.freeze(),
         }
     }
 
@@ -1189,6 +1278,9 @@ impl System {
             tc.stats = crate::txcache::TcStats::default();
         }
         self.dropped_llc_writes = Counter::new();
+        // Stall totals just reset, so the sampler's deltas must restart
+        // from zero too (the series itself keeps its pre-warm-up tail).
+        self.sampler.prev_stalls = [0; 6];
     }
 
     // ------------------------------------------------------------------
@@ -1786,6 +1878,66 @@ mod tests {
             assert!(report.cycles > 0);
             assert!(report.ipc() > 0.0);
         }
+    }
+
+    #[test]
+    fn sampler_records_a_time_series() {
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let rc = RunConfig {
+            sample_period: 64,
+            ..RunConfig::default()
+        };
+        let mut sys = System::new(cfg, traces, &[], &rc).unwrap();
+        let report = sys.run().unwrap();
+        let s = &report.series;
+        assert_eq!(s.period, 64);
+        assert!(!s.samples.is_empty(), "a multi-hundred-cycle run must sample");
+        assert!(s.channels.iter().any(|c| c == "tc_occupancy"));
+        assert!(s.channels.iter().any(|c| c == "stall_frac/load"));
+        // Sample times are strictly increasing multiples of the period.
+        for w in s.samples.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(s.samples.iter().all(|(t, _)| t % 64 == 0));
+        // The TC scheme buffers stores, so occupancy must be visible at
+        // some point of the run.
+        let occ = s.channel("tc_occupancy").unwrap();
+        assert!(occ.iter().any(|(_, v)| *v > 0.0), "TC never occupied: {occ:?}");
+    }
+
+    #[test]
+    fn sampling_disabled_yields_empty_series() {
+        let cfg = tiny_machine(SchemeKind::Optimal);
+        let traces = vec![simple_trace(); cfg.cores];
+        let rc = RunConfig {
+            sample_period: 0,
+            ..RunConfig::default()
+        };
+        let mut sys = System::new(cfg, traces, &[], &rc).unwrap();
+        let report = sys.run().unwrap();
+        assert_eq!(report.series, pmacc_telemetry::SeriesReport::empty());
+    }
+
+    #[test]
+    fn sampling_does_not_perturb_results() {
+        // Telemetry must be observation-only: the same seed and machine
+        // must produce identical timing with and without sampling.
+        let run = |period| {
+            let cfg = tiny_machine(SchemeKind::TxCache);
+            let traces = vec![simple_trace(); cfg.cores];
+            let rc = RunConfig {
+                sample_period: period,
+                ..RunConfig::default()
+            };
+            let mut sys = System::new(cfg, traces, &[], &rc).unwrap();
+            sys.run().unwrap()
+        };
+        let with = run(128);
+        let without = run(0);
+        assert_eq!(with.cycles, without.cycles);
+        assert_eq!(with.nvm.writes(), without.nvm.writes());
+        assert!(!with.series.samples.is_empty());
     }
 
     #[test]

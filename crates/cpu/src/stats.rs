@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use pmacc_telemetry::{Json, ToJson};
 use pmacc_types::{Counter, Cycle, Histogram};
 
 /// Why a core was unable to issue in a given cycle. The breakdown
@@ -134,6 +135,38 @@ impl CoreStats {
         } else {
             self.stall(kind) as f64 / self.cycles as f64
         }
+    }
+}
+
+impl ToJson for CoreStats {
+    /// Raw counters plus the derived rates; stall cycles and fractions
+    /// are keyed by [`StallKind`] display name.
+    fn to_json(&self) -> Json {
+        let stalls = Json::Obj(
+            StallKind::all()
+                .iter()
+                .map(|k| (k.to_string(), self.stall(*k).to_json()))
+                .collect(),
+        );
+        let stall_fractions = Json::Obj(
+            StallKind::all()
+                .iter()
+                .map(|k| (k.to_string(), self.stall_fraction(*k).to_json()))
+                .collect(),
+        );
+        Json::obj([
+            ("cycles", self.cycles.to_json()),
+            ("ops", self.ops.to_json()),
+            ("tx_committed", self.tx_committed.to_json()),
+            ("loads", self.loads.to_json()),
+            ("stores", self.stores.to_json()),
+            ("ipc", self.ipc().to_json()),
+            ("tx_throughput", self.tx_throughput().to_json()),
+            ("load_latency", self.load_latency.to_json()),
+            ("persistent_load_latency", self.persistent_load_latency.to_json()),
+            ("stall_cycles", stalls),
+            ("stall_fractions", stall_fractions),
+        ])
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use pmacc_telemetry::{Json, ToJson};
 use pmacc_types::{Counter, Histogram, LineAddr, Ratio, WriteCause};
 
 /// Counters collected by one memory controller. Figure 9 of the paper is
@@ -87,6 +88,40 @@ impl MemStats {
             .position(|c| *c == cause)
             .expect("cause is in WriteCause::all");
         self.writes_by_cause[idx].value()
+    }
+}
+
+impl ToJson for MemStats {
+    /// Counters, latencies and the write breakdown keyed by
+    /// [`WriteCause`] display name. The per-line endurance map is
+    /// summarized (written lines, hottest line, mean writes per line)
+    /// rather than dumped — the full map is proportional to the
+    /// footprint and belongs in a trace, not a report.
+    fn to_json(&self) -> Json {
+        let by_cause = Json::Obj(
+            WriteCause::all()
+                .iter()
+                .map(|c| (c.to_string(), self.writes_with_cause(*c).to_json()))
+                .collect(),
+        );
+        let endurance = Json::obj([
+            ("lines_written", self.writes_per_line.len().to_json()),
+            ("hottest_line", self.hottest_line().map(|(l, _)| l.raw()).to_json()),
+            ("hottest_line_writes", self.hottest_line().map_or(0, |(_, n)| n).to_json()),
+            ("mean_writes_per_line", self.mean_writes_per_line().to_json()),
+        ]);
+        Json::obj([
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes().to_json()),
+            ("writes_by_cause", by_cause),
+            ("row_hits", self.row_hits.to_json()),
+            ("read_latency", self.read_latency.to_json()),
+            ("write_latency", self.write_latency.to_json()),
+            ("drain_issues", self.drain_issues.to_json()),
+            ("rejected", self.rejected.to_json()),
+            ("coalesced_writes", self.coalesced_writes.to_json()),
+            ("endurance", endurance),
+        ])
     }
 }
 

@@ -1,0 +1,702 @@
+//! A minimal JSON value model with a serializer, pretty-printer and
+//! parser — no external dependencies, deterministic output.
+//!
+//! Design points that matter for the regression gate built on top:
+//!
+//! * **Objects preserve insertion order** (a `Vec` of pairs, not a hash
+//!   map), so the same report always serializes to the same bytes — the
+//!   `--json` output is compared bit for bit across worker counts.
+//! * **Non-finite floats serialize as `null`** (JSON has no NaN/Inf);
+//!   integers keep full 64-bit precision via a dedicated variant.
+//! * **The parser accepts exactly RFC 8259 JSON** (with `\uXXXX` escapes
+//!   including surrogate pairs) and is what `regress` uses to load the
+//!   checked-in baseline.
+
+use core::fmt;
+
+/// Maximum nesting depth the parser accepts (guards the recursion).
+const MAX_DEPTH: usize = 128;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that is an exact 64-bit signed integer.
+    Int(i64),
+    /// Any other number. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Appends one key/value pair to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+
+    /// Looks up a key in an object (first match), or `None` for other
+    /// variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, widening integers; `None` for non-numbers.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs, if it is one.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the format of every `--json` artifact and checked-in baseline.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with a byte offset when the input is
+    /// not a single well-formed JSON value.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+/// Conversion into the [`Json`] value model. Every report type in the
+/// workspace implements this so `reproduce --json` can assemble one
+/// structured document.
+pub trait ToJson {
+    /// The value rendered as JSON.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        // Counts beyond i64::MAX cannot occur in practice; degrade to a
+        // float rather than wrapping if one ever does.
+        i64::try_from(*self).map_or(Json::Num(*self as f64), Json::Int)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::Int(i64::from(*self))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        (*self as u64).to_json()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().map_or(Json::Null, ToJson::to_json)
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Num(x) => write_f64(out, *x),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => write_seq(out, items.iter(), indent, depth, '[', ']', |out, item, ind, d| {
+            write_value(out, item, ind, d);
+        }),
+        Json::Obj(pairs) => write_seq(out, pairs.iter(), indent, depth, '{', '}', |out, (k, item), ind, d| {
+            write_escaped(out, k);
+            out.push(':');
+            if ind.is_some() {
+                out.push(' ');
+            }
+            write_value(out, item, ind, d);
+        }),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+/// Writes a finite float in shortest-roundtrip form (always a valid JSON
+/// number); non-finite values become `null`.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{:?}` on f64 is the shortest string that parses back exactly;
+    // it always contains '.' or 'e', so it is never confused with an int.
+    let s = format!("{x:?}");
+    out.push_str(&s);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// A parse failure: what went wrong and at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            at: self.pos,
+            what: what.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = core::str::from_utf8(rest).expect("input was a str");
+                    let c = s.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (cursor already past the `u`),
+    /// joining surrogate pairs. Leaves the cursor after the last digit
+    /// consumed.
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&lo) {
+                    return Err(self.err("expected low surrogate"));
+                }
+                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                return char::from_u32(c).ok_or_else(|| self.err("bad surrogate pair"));
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("lone low surrogate"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::obj([
+            ("a", Json::Int(1)),
+            ("b", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("c", Json::Str("x".into())),
+        ]);
+        assert_eq!(v.to_compact(), r#"{"a":1,"b":[true,null],"c":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = Json::obj([("k", Json::Arr(vec![Json::Int(1), Json::Int(2)]))]);
+        assert_eq!(v.to_pretty(), "{\n  \"k\": [\n    1,\n    2\n  ]\n}\n");
+        assert_eq!(Json::obj::<String>([]).to_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1} unicode\u{1F600}é";
+        let v = Json::Str(nasty.to_string());
+        let s = v.to_compact();
+        assert!(s.contains("\\\""));
+        assert!(s.contains("\\\\"));
+        assert!(s.contains("\\u0001"));
+        assert_eq!(Json::parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_compact(), "null");
+        assert_eq!(Json::Num(0.25).to_compact(), "0.25");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1, 1.0 / 3.0, 98.5, 1e300, -2.5e-10, 0.0, -0.0] {
+            let s = Json::Num(x).to_compact();
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn ints_keep_full_precision() {
+        for i in [0i64, -1, i64::MAX, i64::MIN, 1 << 60] {
+            let s = Json::Int(i).to_compact();
+            assert_eq!(Json::parse(&s).unwrap(), Json::Int(i));
+        }
+        // u64 beyond i64 range degrades to a float, not garbage.
+        assert!(matches!(u64::MAX.to_json(), Json::Num(_)));
+        assert_eq!(5u64.to_json(), Json::Int(5));
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let v = Json::obj([
+            ("meta", Json::obj([("seed", Json::Int(42)), ("scale", Json::Str("quick".into()))])),
+            (
+                "cells",
+                Json::Arr(vec![Json::obj([
+                    ("ipc", Json::Num(0.985)),
+                    ("empty_arr", Json::Arr(vec![])),
+                    ("empty_obj", Json::obj::<String>([])),
+                    ("none", Json::Null),
+                ])]),
+            ),
+        ]);
+        for s in [v.to_compact(), v.to_pretty()] {
+            assert_eq!(Json::parse(&s).unwrap(), v, "{s}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_surrogates() {
+        let v = Json::parse(r#""a\u0041\n\/\uD83D\uDE00""#).unwrap();
+        assert_eq!(v, Json::Str("aA\n/😀".into()));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+            "{\"a\" 1}", "[1 2]", "\"\\q\"", "\"\\uD800x\"", "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_reports_offsets() {
+        let e = Json::parse("[1, x]").unwrap_err();
+        assert_eq!(e.at, 4);
+        assert!(e.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let s = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(Json::parse(&s).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj([("x", Json::Num(1.5)), ("s", Json::Str("y".into()))]);
+        assert_eq!(v.get("x").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("y"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Int(3).as_f64(), Some(3.0));
+        assert!(Json::Null.as_obj().is_none());
+        assert_eq!(Json::Arr(vec![Json::Null]).as_arr().map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn to_json_impls() {
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!(3u32.to_json(), Json::Int(3));
+        assert_eq!(3usize.to_json(), Json::Int(3));
+        assert_eq!("s".to_json(), Json::Str("s".into()));
+        assert_eq!(None::<u64>.to_json(), Json::Null);
+        assert_eq!(Some(1u64).to_json(), Json::Int(1));
+        assert_eq!(vec![1u64, 2].to_json(), Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # pmacc-telemetry — machine-readable metrics for the simulator
+//!
+//! The observability layer under every `--json` artifact and the CI
+//! regression gate, in three pieces (all zero-dependency, like the rest
+//! of the workspace):
+//!
+//! * [`json`] — a minimal JSON value model ([`Json`]) with a compact
+//!   serializer, a pretty-printer and a parser, plus the [`ToJson`]
+//!   trait every report type in the workspace implements. Objects
+//!   preserve insertion order and floats render in shortest-roundtrip
+//!   form, so the same report always serializes to the same bytes.
+//! * [`registry`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   [`Log2Histogram`]s; `pmacc-bench` flattens each grid run's headline
+//!   numbers into one and the `regress` binary diffs two such documents
+//!   with per-metric tolerances.
+//! * [`series`] — a ring-buffered, cycle-sampled [`SeriesRecorder`]: the
+//!   simulator samples transaction-cache occupancy, memory queue depths,
+//!   store-buffer fill and per-cause stall fractions every N cycles, and
+//!   the frozen [`SeriesReport`] rides along in every run report.
+//!
+//! # Example
+//!
+//! ```
+//! use pmacc_telemetry::{Json, MetricsRegistry, ToJson};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.gauge_set("fig6/tc/mean", 0.985);
+//! let doc = Json::obj([("metrics", reg.to_json())]);
+//! let parsed = Json::parse(&doc.to_pretty()).unwrap();
+//! assert_eq!(parsed, doc);
+//! ```
+
+pub mod json;
+pub mod registry;
+pub mod series;
+
+pub use json::{Json, JsonParseError, ToJson};
+pub use registry::{Log2Histogram, MetricsRegistry};
+pub use series::{SeriesRecorder, SeriesReport};

@@ -1,0 +1,235 @@
+//! A cycle-sampled time-series recorder.
+//!
+//! The simulator samples a fixed set of named channels (transaction-
+//! cache occupancy, memory queue depths, store-buffer fill, stall
+//! fractions) every `period` cycles into a bounded ring buffer: the
+//! recorder keeps the most recent `capacity` samples and counts how many
+//! older ones it dropped, so a report can say "this is the tail of the
+//! run" instead of silently truncating.
+//!
+//! Sampling is driven by the simulator's own deterministic event loop —
+//! the recorder never looks at wall-clock time — so the recorded series
+//! is bit-identical across runs and worker counts at the same seed.
+
+use std::collections::VecDeque;
+
+use crate::json::{Json, ToJson};
+
+/// A ring-buffered recorder for a fixed set of channels sampled at a
+/// fixed cycle period.
+#[derive(Debug, Clone)]
+pub struct SeriesRecorder {
+    period: u64,
+    capacity: usize,
+    channels: Vec<String>,
+    samples: VecDeque<(u64, Vec<f64>)>,
+    dropped: u64,
+}
+
+impl SeriesRecorder {
+    /// Creates a recorder sampling every `period` cycles, keeping the
+    /// most recent `capacity` samples of the given channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero, `capacity` is zero, or no channels
+    /// are given — a recorder that can never hold a sample is a bug at
+    /// the construction site.
+    #[must_use]
+    pub fn new(period: u64, capacity: usize, channels: Vec<String>) -> Self {
+        assert!(period > 0, "sample period must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(!channels.is_empty(), "at least one channel");
+        SeriesRecorder {
+            period,
+            capacity,
+            channels,
+            samples: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The configured sample period in cycles.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Channel names, in recording order.
+    #[must_use]
+    pub fn channels(&self) -> &[String] {
+        &self.channels
+    }
+
+    /// Records one sample row taken at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the channel count.
+    pub fn record(&mut self, cycle: u64, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.channels.len(),
+            "sample arity must match the channel list"
+        );
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back((cycle, values.to_vec()));
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted to honour the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Freezes the ring into a chronological, report-ready snapshot.
+    #[must_use]
+    pub fn freeze(&self) -> SeriesReport {
+        SeriesReport {
+            period: self.period,
+            channels: self.channels.clone(),
+            samples: self.samples.iter().cloned().collect(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// A frozen time series: what ends up inside a run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesReport {
+    /// Cycles between consecutive samples.
+    pub period: u64,
+    /// Channel names; every sample row has one value per channel.
+    pub channels: Vec<String>,
+    /// `(cycle, values)` rows in chronological order.
+    pub samples: Vec<(u64, Vec<f64>)>,
+    /// Older samples dropped by the ring buffer (the series covers only
+    /// the tail of the run when this is nonzero).
+    pub dropped: u64,
+}
+
+impl SeriesReport {
+    /// An empty series (used when sampling is disabled).
+    #[must_use]
+    pub fn empty() -> Self {
+        SeriesReport {
+            period: 0,
+            channels: Vec::new(),
+            samples: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The values of one channel over time, as `(cycle, value)` pairs.
+    #[must_use]
+    pub fn channel(&self, name: &str) -> Option<Vec<(u64, f64)>> {
+        let i = self.channels.iter().position(|c| c == name)?;
+        Some(self.samples.iter().map(|(t, v)| (*t, v[i])).collect())
+    }
+}
+
+impl ToJson for SeriesReport {
+    /// `{"period", "dropped", "channels", "samples": [[cycle, v0, v1,
+    /// ...], ...]}` — rows carry the cycle first so the array is
+    /// directly plottable.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("period", self.period.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("channels", self.channels.to_json()),
+            (
+                "samples",
+                Json::Arr(
+                    self.samples
+                        .iter()
+                        .map(|(cycle, values)| {
+                            let mut row = Vec::with_capacity(values.len() + 1);
+                            row.push(cycle.to_json());
+                            row.extend(values.iter().map(ToJson::to_json));
+                            Json::Arr(row)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> SeriesRecorder {
+        SeriesRecorder::new(100, 3, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut r = rec();
+        assert!(r.is_empty());
+        r.record(100, &[1.0, 10.0]);
+        r.record(200, &[2.0, 20.0]);
+        let s = r.freeze();
+        assert_eq!(s.samples, vec![(100, vec![1.0, 10.0]), (200, vec![2.0, 20.0])]);
+        assert_eq!(s.channel("b").unwrap(), vec![(100, 10.0), (200, 20.0)]);
+        assert_eq!(s.channel("missing"), None);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut r = rec();
+        for i in 1..=5u64 {
+            r.record(i * 100, &[i as f64, 0.0]);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let s = r.freeze();
+        assert_eq!(
+            s.samples.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![300, 400, 500]
+        );
+        assert_eq!(s.dropped, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        rec().record(100, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        let _ = SeriesRecorder::new(0, 1, vec!["a".into()]);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = rec();
+        r.record(100, &[1.0, 0.5]);
+        let j = r.freeze().to_json();
+        assert_eq!(j.get("period").and_then(Json::as_f64), Some(100.0));
+        let rows = j.get("samples").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = rows[0].as_arr().unwrap();
+        assert_eq!(row[0], Json::Int(100));
+        assert_eq!(row[2], Json::Num(0.5));
+        assert_eq!(SeriesReport::empty().to_json().get("dropped"), Some(&Json::Int(0)));
+    }
+}

@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use pmacc_telemetry::{Json, ToJson};
+
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -43,6 +45,13 @@ impl Counter {
 impl fmt::Display for Counter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl ToJson for Counter {
+    /// A bare integer.
+    fn to_json(&self) -> Json {
+        self.0.to_json()
     }
 }
 
@@ -104,6 +113,17 @@ impl Ratio {
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.fraction() * 100.0)
+    }
+}
+
+impl ToJson for Ratio {
+    /// `{"hits", "total", "fraction"}`.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", self.hits.to_json()),
+            ("total", self.total.to_json()),
+            ("fraction", self.fraction().to_json()),
+        ])
     }
 }
 
@@ -221,6 +241,32 @@ impl Default for Histogram {
     }
 }
 
+impl ToJson for Histogram {
+    /// Summary statistics plus the non-empty power-of-two buckets as
+    /// `[bit_length, count]` pairs.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("max", self.max.to_json()),
+            ("mean", self.mean().to_json()),
+            ("p50", self.quantile(0.5).to_json()),
+            ("p99", self.quantile(0.99).to_json()),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(i, &n)| Json::Arr(vec![i.to_json(), n.to_json()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -304,5 +350,31 @@ mod tests {
         let mut h = Histogram::new();
         h.record(0);
         assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn json_renderings() {
+        let mut c = Counter::new();
+        c.add(7);
+        assert_eq!(c.to_json(), Json::Int(7));
+
+        let mut r = Ratio::new();
+        r.record(true);
+        r.record(false);
+        let j = r.to_json();
+        assert_eq!(j.get("hits"), Some(&Json::Int(1)));
+        assert_eq!(j.get("fraction").and_then(Json::as_f64), Some(0.5));
+
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        let j = h.to_json();
+        assert_eq!(j.get("count"), Some(&Json::Int(2)));
+        assert_eq!(j.get("sum"), Some(&Json::Int(6)));
+        // 3 has bit length 2: one bucket entry [2, 2].
+        assert_eq!(
+            j.get("buckets"),
+            Some(&Json::Arr(vec![Json::Arr(vec![Json::Int(2), Json::Int(2)])]))
+        );
     }
 }

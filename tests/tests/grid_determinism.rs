@@ -10,6 +10,7 @@
 use pmacc::RunConfig;
 use pmacc_bench::grid::{run_grid_opts, Scale};
 use pmacc_bench::pool::{run_jobs, Job, Options};
+use pmacc_bench::report;
 use pmacc_types::SimError;
 
 /// Every digit of every statistic, not just the headline metrics: the
@@ -44,6 +45,16 @@ fn quick_grid_is_bit_identical_at_jobs_1_and_jobs_4() {
         fingerprint(&serial),
         fingerprint(&parallel),
         "a 4-worker grid diverged from the serial baseline at the same seed"
+    );
+    // The machine-readable document must be byte-identical too — it is
+    // what the regression gate and external plotting consume, so any
+    // worker-count dependence (map ordering, float formatting) would
+    // poison checked-in baselines.
+    let json_serial = report::full_report(Scale::Quick, 42, Some(&serial), &[]).to_pretty();
+    let json_parallel = report::full_report(Scale::Quick, 42, Some(&parallel), &[]).to_pretty();
+    assert_eq!(
+        json_serial, json_parallel,
+        "reproduce --json output depends on the worker count"
     );
 }
 
