@@ -23,6 +23,16 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> RUSTDOCFLAGS=-D warnings cargo doc --no-deps --offline"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 
+# Smoke-run the component microbench suite at one sample per benchmark:
+# this is a bit-rot gate (the targets must build and their setup code
+# must still hold), not a measurement — real numbers come from
+# `cargo bench -p pmacc-bench --bench hotpath` on an idle machine.
+echo "==> microbench smoke run (PMACC_BENCH_SAMPLES=1)"
+PMACC_BENCH_SAMPLES=1 PMACC_JOBS=1 cargo bench --offline -q -p pmacc-bench \
+    --bench hotpath > /dev/null
+PMACC_BENCH_SAMPLES=1 PMACC_JOBS=1 cargo bench --offline -q -p pmacc-bench \
+    --bench components > /dev/null
+
 # Smoke-run the parallel experiment path end to end: a quick-scale grid
 # fanned out over the pool (PMACC_JOBS=4 exercises the multi-worker code
 # even on small CI boxes) rendered to one figure, plus the JSON emitter.

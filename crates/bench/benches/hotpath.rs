@@ -1,0 +1,178 @@
+//! Microbenchmarks of the per-access simulation hot path, targeting the
+//! data structures the indexed-CAM overhaul rewrote: transaction-cache
+//! probe/insert/ack under high occupancy, line-granular backing-store
+//! round trips, the in-repo fast hasher against SipHash, and the
+//! end-to-end cells-per-second figure a grid sweep is built from.
+//!
+//! Run with `cargo bench -p pmacc-bench --bench hotpath`;
+//! `PMACC_BENCH_SAMPLES=1` is the CI smoke mode.
+
+use pmacc_bench::bench_main;
+use pmacc_bench::grid::{run_cell, Scale};
+use pmacc_bench::harness::Harness;
+
+use pmacc::TxCache;
+use pmacc_mem::Backing;
+use pmacc_types::{Addr, FxHashMap, LineAddr, SchemeKind, TxCacheConfig, TxId};
+use pmacc_workloads::WorkloadKind;
+
+/// A transaction cache filled to high occupancy (60 of 64 entries) with
+/// committed-but-unacked lines, the state a loaded system probes against.
+fn high_occupancy_tc() -> (TxCache, Vec<LineAddr>) {
+    let cfg = TxCacheConfig::dac17();
+    let mut tc = TxCache::new(&cfg);
+    let tx = TxId::new(0, 1);
+    let mut lines = Vec::new();
+    for i in 0..60u64 {
+        let w = Addr::nvm_base().offset(i * 64).word();
+        tc.insert(tx, w, i).expect("room");
+        lines.push(w.line());
+    }
+    tc.commit(tx);
+    (tc, lines)
+}
+
+fn bench_txcache_hot(c: &mut Harness) {
+    let mut g = c.benchmark_group("tc");
+    g.bench_function("probe_hit_high_occupancy", |b| {
+        let (mut tc, lines) = high_occupancy_tc();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % lines.len();
+            tc.probe(std::hint::black_box(lines[i])).is_some()
+        });
+    });
+    g.bench_function("probe_miss_high_occupancy", |b| {
+        // The pre-index worst case: a full window scan finding nothing.
+        let (mut tc, _) = high_occupancy_tc();
+        let absent = Addr::nvm_base().offset(1 << 20).line();
+        b.iter(|| tc.probe(std::hint::black_box(absent)).is_some());
+    });
+    g.bench_function("probe_ref_presence_filter", |b| {
+        let (tc, _) = high_occupancy_tc();
+        let absent = Addr::nvm_base().offset(1 << 20).line();
+        b.iter(|| tc.contains_line(std::hint::black_box(absent)));
+    });
+    g.bench_function("insert_coalesce_high_occupancy", |b| {
+        // Repeated stores to one line of the running transaction, on top
+        // of a deep committed backlog: the coalescing CAM search.
+        let cfg = TxCacheConfig {
+            coalesce: true,
+            ..TxCacheConfig::dac17()
+        };
+        let mut tc = TxCache::new(&cfg);
+        let backlog = TxId::new(0, 1);
+        for i in 0..48u64 {
+            tc.insert(backlog, Addr::nvm_base().offset(i * 64).word(), i)
+                .expect("room");
+        }
+        tc.commit(backlog);
+        let tx = TxId::new(0, 2);
+        let w = Addr::nvm_base().offset(60 * 64).word();
+        tc.insert(tx, w, 0).expect("room");
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            tc.insert(tx, w, v).expect("coalesces");
+            tc.occupancy()
+        });
+    });
+    g.bench_function("ack_line_full_window_cycle", |b| {
+        // Insert/commit/issue 60 lines, then retire them all by
+        // line-addressed acknowledgment — the nearest-tail CAM match.
+        b.iter(|| {
+            let (mut tc, lines) = high_occupancy_tc();
+            while let Some((slot, _)) = tc.next_issue() {
+                tc.mark_issued(slot);
+            }
+            for line in &lines {
+                tc.ack_line(*line).expect("issued entry");
+            }
+            tc.occupancy()
+        });
+    });
+    g.finish();
+}
+
+fn bench_backing(c: &mut Harness) {
+    let mut g = c.benchmark_group("backing");
+    g.bench_function("line_round_trip", |b| {
+        let mut backing = Backing::new();
+        let base = Addr::nvm_base().line().raw();
+        let vals = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            let line = LineAddr::new(base + i);
+            backing.write_line(line, &vals);
+            backing.read_line(line)[7]
+        });
+    });
+    g.bench_function("word_writes_scattered", |b| {
+        let mut backing = Backing::new();
+        let base = Addr::nvm_base().word();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // A stride that hops lines, defeating any single-line cache.
+            let w = pmacc_types::WordAddr::new(base.raw() + (i * 13) % 32_768);
+            backing.write_word(w, i);
+            backing.read_word(w)
+        });
+    });
+    g.finish();
+}
+
+fn bench_hasher(c: &mut Harness) {
+    let mut g = c.benchmark_group("hash");
+    let keys: Vec<LineAddr> = (0..4096u64)
+        .map(|i| Addr::nvm_base().line().raw() + i * 7)
+        .map(LineAddr::new)
+        .collect();
+    g.bench_function("fx_map_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<LineAddr, u64> = FxHashMap::default();
+            for (i, k) in keys.iter().enumerate() {
+                *m.entry(*k).or_insert(0) += i as u64;
+            }
+            keys.iter().map(|k| m[k]).sum::<u64>()
+        });
+    });
+    g.bench_function("sip_map_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: std::collections::HashMap<LineAddr, u64> = Default::default();
+            for (i, k) in keys.iter().enumerate() {
+                *m.entry(*k).or_insert(0) += i as u64;
+            }
+            keys.iter().map(|k| m[k]).sum::<u64>()
+        });
+    });
+    g.finish();
+}
+
+fn bench_full_cell(c: &mut Harness) {
+    // One whole quick-scale grid cell, the unit the reproduction sweeps
+    // ~89 of: the end-to-end number every structural optimization above
+    // must move.
+    let mut g = c.benchmark_group("cell");
+    g.sample_size(3);
+    g.bench_function("quick_sps_txcache", |b| {
+        b.iter(|| {
+            let machine = Scale::Quick.machine().with_scheme(SchemeKind::TxCache);
+            let report =
+                run_cell(machine, WorkloadKind::Sps, Scale::Quick, 42).expect("cell runs");
+            report.cycles
+        });
+    });
+    g.bench_function("quick_sps_sp", |b| {
+        b.iter(|| {
+            let machine = Scale::Quick.machine().with_scheme(SchemeKind::Sp);
+            let report =
+                run_cell(machine, WorkloadKind::Sps, Scale::Quick, 42).expect("cell runs");
+            report.cycles
+        });
+    });
+    g.finish();
+}
+
+bench_main!(bench_txcache_hot, bench_backing, bench_hasher, bench_full_cell);

@@ -1,10 +1,9 @@
 //! Miss-status holding registers: merge concurrent misses to one line.
 
 use core::fmt;
-use std::collections::HashMap;
 use std::error::Error;
 
-use pmacc_types::LineAddr;
+use pmacc_types::{FxHashMap, LineAddr};
 
 /// Returned when all MSHR entries are in use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +34,7 @@ impl Error for MshrFullError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mshr<W> {
-    entries: HashMap<LineAddr, Vec<W>>,
+    entries: FxHashMap<LineAddr, Vec<W>>,
     capacity: usize,
 }
 
@@ -44,7 +43,7 @@ impl<W> Mshr<W> {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Mshr {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             capacity,
         }
     }

@@ -12,7 +12,7 @@ use core::fmt;
 use std::collections::HashMap;
 
 use pmacc_mem::Backing;
-use pmacc_types::{layout, Cycle, SchemeKind, TxId, Word, WordAddr};
+use pmacc_types::{layout, Cycle, FxHashMap, SchemeKind, TxId, Word, WordAddr};
 
 use crate::scheme::sp::{self, LogElem};
 use crate::txcache::{EntryState, TcEntry};
@@ -56,7 +56,7 @@ pub struct CrashState {
     /// Per-core transaction-cache contents (STT-RAM), FIFO order.
     pub txcaches: Vec<Vec<TcEntry>>,
     /// NVLLC committed-line image (word granularity).
-    pub nv_llc_committed: HashMap<WordAddr, Word>,
+    pub nv_llc_committed: FxHashMap<WordAddr, Word>,
     /// Per-core COW-area shadows.
     pub cow: Vec<Vec<CowTxShadow>>,
     /// Golden journal of committed transactions (oracle).
@@ -382,7 +382,7 @@ mod tests {
             nvm: Backing::new(),
             initial_nvm: Backing::new(),
             txcaches: vec![Vec::new()],
-            nv_llc_committed: HashMap::new(),
+            nv_llc_committed: FxHashMap::default(),
             cow: vec![Vec::new()],
             journal: Vec::new(),
             in_flight: vec![None],

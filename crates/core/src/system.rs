@@ -12,15 +12,16 @@
 //! simulated crash; everything else dies with it.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use pmacc_cache::{Access, Eviction, Hierarchy, HierarchyOpts, Level, Mshr, WriteBackBuffer};
 use pmacc_cpu::{CoreStats, Op, StallKind, StoreBuffer, Trace, TxRegs};
 use pmacc_cpu::{PendingStore, StoreKind};
 use pmacc_mem::{Backing, Completion, MemController, SchedPolicy};
 use pmacc_types::{
-    layout, AccessKind, Addr, ConfigError, Counter, Cycle, LineAddr, MachineConfig, MemRegion,
-    MemReq, ReqId, SchemeKind, SimError, TxId, Word, WordAddr, WORDS_PER_LINE, WORD_BYTES,
+    layout, AccessKind, Addr, ConfigError, Counter, Cycle, FxHashMap, LineAddr, MachineConfig,
+    MemRegion, MemReq, ReqId, SchemeKind, SimError, TxId, Word, WordAddr, WORDS_PER_LINE,
+    WORD_BYTES,
 };
 use pmacc_workloads::{build, WorkloadKind, WorkloadParams};
 
@@ -275,12 +276,12 @@ pub struct System {
     nvm_backing: Backing,
     dram_backing: Backing,
     initial_nvm: Backing,
-    volatile: HashMap<WordAddr, Word>,
-    nv_llc_committed: HashMap<WordAddr, Word>,
+    volatile: FxHashMap<WordAddr, Word>,
+    nv_llc_committed: FxHashMap<WordAddr, Word>,
     cow_shadow: Vec<Vec<CowTxShadow>>,
     /// Outstanding home-location installs per overflowed transaction;
     /// its COW-area shadow is freed (truncated) when this reaches zero.
-    cow_installs: HashMap<(usize, TxId), usize>,
+    cow_installs: FxHashMap<(usize, TxId), usize>,
     /// Oracle: per core, per transaction serial, the persistent data
     /// writes the transaction performs — derived statically from the
     /// traces, so it is independent of how far execution got (SP's commit
@@ -294,7 +295,7 @@ pub struct System {
     clock: Cycle,
     events: BinaryHeap<Reverse<(Cycle, u64, Event)>>,
     seq: u64,
-    origins: HashMap<ReqId, Origin>,
+    origins: FxHashMap<ReqId, Origin>,
     next_req: u64,
     /// Banked LLC port model: one access per cycle per bank; NVLLC commit
     /// bursts hold a single bank for the full STT-RAM write.
@@ -375,7 +376,7 @@ impl System {
         };
         let mut nvm_backing = Backing::new();
         let mut dram_backing = Backing::new();
-        let mut volatile = HashMap::new();
+        let mut volatile = FxHashMap::default();
         for &(w, v) in initial {
             volatile.insert(w, v);
             if w.is_persistent() {
@@ -395,9 +396,9 @@ impl System {
             nvm_backing,
             dram_backing,
             volatile,
-            nv_llc_committed: HashMap::new(),
+            nv_llc_committed: FxHashMap::default(),
             cow_shadow: vec![Vec::new(); cfg.cores],
-            cow_installs: HashMap::new(),
+            cow_installs: FxHashMap::default(),
             tx_write_table,
             measure_start: 0,
             warmup_done: false,
@@ -406,7 +407,7 @@ impl System {
             clock: 0,
             events: BinaryHeap::new(),
             seq: 0,
-            origins: HashMap::new(),
+            origins: FxHashMap::default(),
             next_req: 0,
             llc_port_free: [0; 4],
             mshr: Mshr::new(16),
@@ -900,7 +901,7 @@ impl System {
                         // with the NVM request (§3); a hit serves the fill
                         // at CAM latency without touching the NVM.
                         if self.cfg.scheme == SchemeKind::TxCache && persistent {
-                            let hit = self.tcs.iter_mut().any(|tc| tc.probe(line).is_some());
+                            let hit = self.tc_probe_any(line);
                             if hit {
                                 self.finish_load(c, pre + self.lat_tc, persistent);
                                 self.cores[c].pin_retries = 0;
@@ -922,6 +923,25 @@ impl System {
                 }
             }
         }
+    }
+
+    /// Broadcasts an LLC-miss probe to every core's transaction cache,
+    /// stopping at the first hit (as `iter().any` would). A TC whose
+    /// presence filter says the line cannot be buffered skips the CAM
+    /// search entirely but still counts the broadcast as a probe miss —
+    /// the probe statistics feed both the report and the energy model, so
+    /// the filter must be invisible to them.
+    fn tc_probe_any(&mut self, line: LineAddr) -> bool {
+        for tc in &mut self.tcs {
+            if tc.contains_line(line) {
+                if tc.probe(line).is_some() {
+                    return true;
+                }
+            } else {
+                tc.record_probe_miss();
+            }
+        }
+        false
     }
 
     fn issue_load_fill(&mut self, c: usize, line: LineAddr, arrival: Cycle) {
@@ -1032,7 +1052,7 @@ impl System {
                 let region = line.region();
                 if self.cfg.scheme == SchemeKind::TxCache
                     && persistent
-                    && self.tcs.iter_mut().any(|tc| tc.probe(line).is_some())
+                    && self.tc_probe_any(line)
                 {
                     // The parallel TC probe serves the fill.
                     fill += self.lat_tc;

@@ -17,8 +17,29 @@
 //! (the newest version). The data array is STT-RAM, so the whole structure
 //! — including state bits — survives a crash; recovery replays committed
 //! entries and discards active ones.
+//!
+//! # Implementation note: the software model is indexed like the hardware
+//!
+//! In hardware every one of these operations is a single-cycle
+//! content-addressed match. The software model keeps the ring as the
+//! order-of-record but mirrors it with three cheap indexes so the
+//! per-access cost is O(1) amortized rather than O(window):
+//!
+//! * a per-line slot list (`line_index`) answering [`TxCache::probe`]
+//!   (newest = last element) and [`TxCache::ack_line`] (oldest issued =
+//!   scan of a near-always-tiny list) without walking the ring;
+//! * the set of active slots (`active_slots`) so [`TxCache::commit`] and
+//!   [`TxCache::discard_active`] touch only the entries they flip;
+//! * the current head run of one transaction's active lines (`run_lines`)
+//!   answering the coalescing check in [`TxCache::insert`].
+//!
+//! The indexes are pure caches over the ring: every state transition
+//! updates them, and the property suite cross-checks the indexed
+//! structure against a naive linear-scan reference model.
 
-use pmacc_types::{Counter, LineAddr, TxCacheConfig, TxId, Word, WordAddr, WORDS_PER_LINE};
+use pmacc_types::{
+    Counter, FxHashMap, LineAddr, TxCacheConfig, TxId, Word, WordAddr, WORDS_PER_LINE,
+};
 
 /// State of one transaction-cache entry (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +160,18 @@ pub struct TxCache {
     active_len: usize,
     coalesce: bool,
     overflow_entries: usize,
+    /// Per-line CAM index: the in-use slots tagged with each line, oldest
+    /// first (insertion order equals window order on a FIFO ring).
+    line_index: FxHashMap<LineAddr, Vec<usize>>,
+    /// Slots currently in the active state (order is irrelevant; entries
+    /// leave the active state only wholesale, per transaction).
+    active_slots: Vec<usize>,
+    /// The transaction owning the contiguous run of active entries at the
+    /// head, if any — the only entries the §4.1 coalescing CAM search can
+    /// reach before hitting an older-transaction boundary.
+    run_tx: Option<TxId>,
+    /// Line → slot for the head run's entries.
+    run_lines: FxHashMap<LineAddr, usize>,
     /// Statistics.
     pub stats: TcStats,
 }
@@ -161,6 +194,10 @@ impl TxCache {
             active_len: 0,
             coalesce: cfg.coalesce,
             overflow_entries: cfg.overflow_entries(),
+            line_index: FxHashMap::default(),
+            active_slots: Vec::new(),
+            run_tx: None,
+            run_lines: FxHashMap::default(),
             stats: TcStats::default(),
         }
     }
@@ -215,20 +252,30 @@ impl TxCache {
         (i + 1) % self.entries.len()
     }
 
-    /// Slot indices currently inside the `[tail, head)` window, oldest
-    /// first. Handles the completely-full ring (`tail == head`, `len > 0`)
-    /// and windows containing freed holes.
-    fn window_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        let cap = self.entries.len();
-        let n = if self.len == 0 {
-            0
-        } else if self.tail < self.head {
-            self.head - self.tail
-        } else {
-            cap - self.tail + self.head
-        };
-        let tail = self.tail;
-        (0..n).map(move |k| (tail + k) % cap)
+    /// Removes `slot` from its line's index list, preserving the list's
+    /// age order (probe and ack-by-line depend on it).
+    fn unindex(&mut self, line: LineAddr, slot: usize) {
+        let slots = self
+            .line_index
+            .get_mut(&line)
+            .expect("freed slot is indexed");
+        let pos = slots
+            .iter()
+            .position(|&s| s == slot)
+            .expect("freed slot is in its line's list");
+        slots.remove(pos);
+        if slots.is_empty() {
+            self.line_index.remove(&line);
+        }
+    }
+
+    /// Clears the head-run coalescing index if it belongs to `tx` (its
+    /// entries just left the active state).
+    fn end_run(&mut self, tx: TxId) {
+        if self.run_tx == Some(tx) {
+            self.run_tx = None;
+            self.run_lines.clear();
+        }
     }
 
     /// Buffers one 64-bit store of transaction `tx`.
@@ -242,15 +289,14 @@ impl TxCache {
     /// an acknowledgment frees the tail.
     pub fn insert(&mut self, tx: TxId, word: WordAddr, value: Word) -> Result<(), TcFullError> {
         if self.coalesce {
-            // CAM search newest-first among this tx's active entries.
-            let mut i = self.head;
-            for _ in 0..self.len {
-                i = if i == 0 { self.entries.len() - 1 } else { i - 1 };
-                let e = &mut self.entries[i];
-                if e.state != EntryState::Active || e.tx != tx {
-                    break; // older transactions follow; stop at boundary
-                }
-                if e.line == word.line() {
+            // CAM search newest-first among this tx's active entries: only
+            // the contiguous head run can match before the search hits an
+            // older-transaction boundary, and `run_lines` indexes exactly
+            // that run.
+            if self.run_tx == Some(tx) {
+                if let Some(&slot) = self.run_lines.get(&word.line()) {
+                    let e = &mut self.entries[slot];
+                    debug_assert!(e.state == EntryState::Active && e.tx == tx);
                     e.values[word.index_in_line()] = Some(value);
                     self.stats.coalesced.inc();
                     return Ok(());
@@ -265,16 +311,26 @@ impl TxCache {
         debug_assert_eq!(self.entries[slot].state, EntryState::Available);
         let mut values = [None; WORDS_PER_LINE];
         values[word.index_in_line()] = Some(value);
+        let line = word.line();
         self.entries[slot] = TcEntry {
             state: EntryState::Active,
             tx,
-            line: word.line(),
+            line,
             values,
             issued: false,
         };
         self.head = self.step(slot);
         self.len += 1;
         self.active_len += 1;
+        self.line_index.entry(line).or_default().push(slot);
+        self.active_slots.push(slot);
+        if self.coalesce {
+            if self.run_tx != Some(tx) {
+                self.run_tx = Some(tx);
+                self.run_lines.clear();
+            }
+            self.run_lines.insert(line, slot);
+        }
         self.stats.inserts.inc();
         if self.len as u64 > self.stats.high_water.value() {
             self.stats.high_water = Counter::new();
@@ -287,15 +343,20 @@ impl TxCache {
     /// committed (single CAM operation). Returns how many entries matched.
     pub fn commit(&mut self, tx: TxId) -> usize {
         let mut n = 0;
-        let idxs: Vec<usize> = self.window_indices().collect();
-        for i in idxs {
-            let e = &mut self.entries[i];
-            if e.state == EntryState::Active && e.tx == tx {
-                e.state = EntryState::Committed;
+        let mut i = 0;
+        while i < self.active_slots.len() {
+            let s = self.active_slots[i];
+            debug_assert_eq!(self.entries[s].state, EntryState::Active);
+            if self.entries[s].tx == tx {
+                self.entries[s].state = EntryState::Committed;
+                self.active_slots.swap_remove(i);
                 n += 1;
+            } else {
+                i += 1;
             }
         }
         self.active_len -= n;
+        self.end_run(tx);
         self.stats.commits.inc();
         n
     }
@@ -305,16 +366,22 @@ impl TxCache {
     /// buffered state does not replay at recovery).
     pub fn discard_active(&mut self, tx: TxId) -> usize {
         let mut n = 0;
-        let idxs: Vec<usize> = self.window_indices().collect();
-        for i in idxs {
-            let e = &mut self.entries[i];
-            if e.state == EntryState::Active && e.tx == tx {
-                e.state = EntryState::Available;
+        let mut i = 0;
+        while i < self.active_slots.len() {
+            let s = self.active_slots[i];
+            debug_assert_eq!(self.entries[s].state, EntryState::Active);
+            if self.entries[s].tx == tx {
+                self.entries[s].state = EntryState::Available;
+                self.active_slots.swap_remove(i);
+                self.unindex(self.entries[s].line, s);
                 n += 1;
+            } else {
+                i += 1;
             }
         }
         self.active_len -= n;
         self.len -= n;
+        self.end_run(tx);
         self.compact_tail();
         n
     }
@@ -324,23 +391,27 @@ impl TxCache {
     /// slot index to pass to [`TxCache::mark_issued`].
     #[must_use]
     pub fn next_issue(&self) -> Option<(usize, TcEntry)> {
-        // Walk the window from the issue pointer onward, skipping entries
-        // already issued or freed; stop at the first active entry (FIFO
-        // order must not overtake an uncommitted older transaction).
-        let mut saw_ptr = false;
-        for i in self.window_indices() {
-            if i == self.issue_ptr {
-                saw_ptr = true;
-            }
-            if !saw_ptr {
-                continue;
-            }
+        // Walk the ring from the issue pointer to the head, skipping
+        // entries already issued or freed; stop at the first active entry
+        // (FIFO order must not overtake an uncommitted older transaction).
+        if !self.in_window(self.issue_ptr) {
+            return None;
+        }
+        let cap = self.entries.len();
+        let steps = if self.issue_ptr < self.head {
+            self.head - self.issue_ptr
+        } else {
+            cap - self.issue_ptr + self.head
+        };
+        let mut i = self.issue_ptr;
+        for _ in 0..steps {
             let e = &self.entries[i];
             match e.state {
                 EntryState::Committed if !e.issued => return Some((i, *e)),
                 EntryState::Active => return None,
                 _ => {}
             }
+            i = self.step(i);
         }
         None
     }
@@ -361,6 +432,8 @@ impl TxCache {
         debug_assert!(e.issued && e.state == EntryState::Committed);
         e.state = EntryState::Available;
         e.issued = false;
+        let line = e.line;
+        self.unindex(line, idx);
         self.len -= 1;
         self.stats.acks.inc();
         self.compact_tail();
@@ -370,15 +443,16 @@ impl TxCache {
     /// issued entry *nearest the tail* becomes available (§4.1). Returns
     /// the freed slot, or `None` when no issued entry holds the line.
     pub fn ack_line(&mut self, line: LineAddr) -> Option<usize> {
-        let idxs: Vec<usize> = self.window_indices().collect();
-        for i in idxs {
-            let e = &self.entries[i];
-            if e.state == EntryState::Committed && e.issued && e.line == line {
-                self.ack_slot(i);
-                return Some(i);
-            }
-        }
-        None
+        // The line's slot list is in age order, so the first issued
+        // committed slot is the nearest-tail CAM match.
+        let slot = self
+            .line_index
+            .get(&line)?
+            .iter()
+            .copied()
+            .find(|&s| self.entries[s].state == EntryState::Committed && self.entries[s].issued)?;
+        self.ack_slot(slot);
+        Some(slot)
     }
 
     fn compact_tail(&mut self) {
@@ -414,18 +488,41 @@ impl TxCache {
     }
 
     /// LLC miss probe: the in-use entry holding `line` nearest the *head*
-    /// (the newest buffered version), per §4.1. Records probe statistics.
+    /// (the newest buffered version), per §4.1. Records probe statistics;
+    /// [`TxCache::probe_ref`] is the read-only, stat-free form.
     pub fn probe(&mut self, line: LineAddr) -> Option<TcEntry> {
-        let idxs: Vec<usize> = self.window_indices().collect();
-        for i in idxs.into_iter().rev() {
-            let e = &self.entries[i];
-            if e.state != EntryState::Available && e.line == line {
-                self.stats.probe_hits.inc();
-                return Some(*e);
-            }
+        let hit = self.probe_ref(line).copied();
+        if hit.is_some() {
+            self.stats.probe_hits.inc();
+        } else {
+            self.stats.probe_misses.inc();
         }
+        hit
+    }
+
+    /// Read-only CAM probe: the in-use entry holding `line` nearest the
+    /// head, without touching the probe counters. Inspection paths (and
+    /// presence pre-filters) use this so they do not need `&mut self`.
+    #[must_use]
+    pub fn probe_ref(&self, line: LineAddr) -> Option<&TcEntry> {
+        let slot = *self.line_index.get(&line)?.last()?;
+        let e = &self.entries[slot];
+        debug_assert!(e.state != EntryState::Available && e.line == line);
+        Some(e)
+    }
+
+    /// Whether any in-use entry holds `line` — the cheap presence filter a
+    /// miss path checks before paying for a stat-recording probe.
+    #[must_use]
+    pub fn contains_line(&self, line: LineAddr) -> bool {
+        self.line_index.contains_key(&line)
+    }
+
+    /// Counts a miss probe that was answered by the presence filter
+    /// without a CAM search (the hardware still served the broadcast, so
+    /// the probe statistics and the energy model must see it).
+    pub fn record_probe_miss(&mut self) {
         self.stats.probe_misses.inc();
-        None
     }
 
     /// The in-use entries in FIFO order (tail to head), as crash recovery

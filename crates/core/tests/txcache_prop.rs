@@ -106,6 +106,386 @@ fn fifo_invariants_hold() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Reference model: the pre-index, linear-scan transaction cache.
+//
+// `TxCache` answers every CAM operation from per-line / per-state slot
+// indexes; this naive model is the original O(window) implementation kept
+// verbatim (ring walks, newest-first scans). The equivalence property
+// below drives both through identical randomized histories — including
+// ring wrap, out-of-order acknowledgment holes, interleaved transactions
+// and coalescing — and demands identical observable behaviour and
+// statistics at every step.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct NaiveStats {
+    inserts: u64,
+    coalesced: u64,
+    commits: u64,
+    acks: u64,
+    probe_hits: u64,
+    probe_misses: u64,
+    full_rejections: u64,
+    high_water: u64,
+}
+
+struct NaiveTc {
+    entries: Vec<pmacc::TcEntry>,
+    head: usize,
+    tail: usize,
+    issue_ptr: usize,
+    len: usize,
+    active_len: usize,
+    coalesce: bool,
+    overflow_entries: usize,
+    stats: NaiveStats,
+}
+
+impl NaiveTc {
+    fn new(cfg: &TxCacheConfig) -> Self {
+        NaiveTc {
+            entries: vec![
+                pmacc::TcEntry {
+                    state: EntryState::Available,
+                    tx: TxId::new(0, 0),
+                    line: pmacc_types::LineAddr::new(0),
+                    values: [None; pmacc_types::WORDS_PER_LINE],
+                    issued: false,
+                };
+                cfg.entries()
+            ],
+            head: 0,
+            tail: 0,
+            issue_ptr: 0,
+            len: 0,
+            active_len: 0,
+            coalesce: cfg.coalesce,
+            overflow_entries: cfg.overflow_entries(),
+            stats: NaiveStats::default(),
+        }
+    }
+
+    fn window_len(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else if self.tail < self.head {
+            self.head - self.tail
+        } else {
+            self.entries.len() - self.tail + self.head
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.window_len() == self.entries.len()
+    }
+
+    fn overflow_triggered(&self) -> bool {
+        self.active_len >= self.overflow_entries
+    }
+
+    fn step(&self, i: usize) -> usize {
+        (i + 1) % self.entries.len()
+    }
+
+    fn window_indices(&self) -> Vec<usize> {
+        let cap = self.entries.len();
+        let n = self.window_len();
+        (0..n).map(|k| (self.tail + k) % cap).collect()
+    }
+
+    fn insert(&mut self, tx: TxId, word: WordAddr, value: u64) -> Result<(), ()> {
+        if self.coalesce {
+            let mut i = self.head;
+            for _ in 0..self.len {
+                i = if i == 0 { self.entries.len() - 1 } else { i - 1 };
+                let e = &mut self.entries[i];
+                if e.state != EntryState::Active || e.tx != tx {
+                    break;
+                }
+                if e.line == word.line() {
+                    e.values[word.index_in_line()] = Some(value);
+                    self.stats.coalesced += 1;
+                    return Ok(());
+                }
+            }
+        }
+        if self.is_full() {
+            self.stats.full_rejections += 1;
+            return Err(());
+        }
+        let slot = self.head;
+        let mut values = [None; pmacc_types::WORDS_PER_LINE];
+        values[word.index_in_line()] = Some(value);
+        self.entries[slot] = pmacc::TcEntry {
+            state: EntryState::Active,
+            tx,
+            line: word.line(),
+            values,
+            issued: false,
+        };
+        self.head = self.step(slot);
+        self.len += 1;
+        self.active_len += 1;
+        self.stats.inserts += 1;
+        self.stats.high_water = self.stats.high_water.max(self.len as u64);
+        Ok(())
+    }
+
+    fn commit(&mut self, tx: TxId) -> usize {
+        let mut n = 0;
+        for i in self.window_indices() {
+            let e = &mut self.entries[i];
+            if e.state == EntryState::Active && e.tx == tx {
+                e.state = EntryState::Committed;
+                n += 1;
+            }
+        }
+        self.active_len -= n;
+        self.stats.commits += 1;
+        n
+    }
+
+    fn discard_active(&mut self, tx: TxId) -> usize {
+        let mut n = 0;
+        for i in self.window_indices() {
+            let e = &mut self.entries[i];
+            if e.state == EntryState::Active && e.tx == tx {
+                e.state = EntryState::Available;
+                n += 1;
+            }
+        }
+        self.active_len -= n;
+        self.len -= n;
+        self.compact_tail();
+        n
+    }
+
+    fn next_issue(&self) -> Option<(usize, pmacc::TcEntry)> {
+        let mut saw_ptr = false;
+        for i in self.window_indices() {
+            if i == self.issue_ptr {
+                saw_ptr = true;
+            }
+            if !saw_ptr {
+                continue;
+            }
+            let e = &self.entries[i];
+            match e.state {
+                EntryState::Committed if !e.issued => return Some((i, *e)),
+                EntryState::Active => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn mark_issued(&mut self, idx: usize) {
+        self.entries[idx].issued = true;
+        self.issue_ptr = self.step(idx);
+    }
+
+    fn ack_slot(&mut self, idx: usize) {
+        let e = &mut self.entries[idx];
+        e.state = EntryState::Available;
+        e.issued = false;
+        self.len -= 1;
+        self.stats.acks += 1;
+        self.compact_tail();
+    }
+
+    fn ack_line(&mut self, line: pmacc_types::LineAddr) -> Option<usize> {
+        for i in self.window_indices() {
+            let e = &self.entries[i];
+            if e.state == EntryState::Committed && e.issued && e.line == line {
+                self.ack_slot(i);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn compact_tail(&mut self) {
+        let mut remaining = self.window_len();
+        while remaining > 0 && self.entries[self.tail].state == EntryState::Available {
+            self.tail = self.step(self.tail);
+            remaining -= 1;
+        }
+        if self.len == 0 {
+            self.tail = self.head;
+            self.issue_ptr = self.head;
+        } else if !self.in_window(self.issue_ptr) {
+            self.issue_ptr = self.tail;
+        }
+    }
+
+    fn in_window(&self, i: usize) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        if self.tail < self.head {
+            i >= self.tail && i < self.head
+        } else {
+            i >= self.tail || i < self.head
+        }
+    }
+
+    fn probe(&mut self, line: pmacc_types::LineAddr) -> Option<pmacc::TcEntry> {
+        for i in self.window_indices().into_iter().rev() {
+            let e = &self.entries[i];
+            if e.state != EntryState::Available && e.line == line {
+                self.stats.probe_hits += 1;
+                return Some(*e);
+            }
+        }
+        self.stats.probe_misses += 1;
+        None
+    }
+
+    fn entries_fifo(&self) -> Vec<pmacc::TcEntry> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut i = self.tail;
+        for _ in 0..self.entries.len() {
+            if out.len() == self.len {
+                break;
+            }
+            let e = self.entries[i];
+            if e.state != EntryState::Available {
+                out.push(e);
+            }
+            i = self.step(i);
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EqOp {
+    /// Insert word `w` for concurrent transaction stream 0 or 1.
+    Insert(bool, u8),
+    /// Commit a stream's transaction and start its next one.
+    Commit(bool),
+    /// Discard a stream's active entries (COW overflow path).
+    Discard(bool),
+    /// Issue the next committed entry.
+    Issue,
+    /// Acknowledge an issued slot picked by index (out-of-order holes).
+    AckSlot(u8),
+    /// Acknowledge by line address (the paper's CAM form).
+    AckLine(u8),
+    /// LLC miss probe.
+    Probe(u8),
+}
+
+fn arb_eq_op(g: &mut Gen) -> EqOp {
+    match g.weighted(&[6, 2, 1, 4, 3, 2, 4]) {
+        0 => EqOp::Insert(g.gen(), g.gen_range(0u8..24)),
+        1 => EqOp::Commit(g.gen()),
+        2 => EqOp::Discard(g.gen()),
+        3 => EqOp::Issue,
+        4 => EqOp::AckSlot(g.gen_range(0u8..8)),
+        5 => EqOp::AckLine(g.gen_range(0u8..24)),
+        _ => EqOp::Probe(g.gen_range(0u8..24)),
+    }
+}
+
+/// The indexed CAM and the naive linear-scan model agree on every
+/// observable — return values, FIFO contents, occupancy and statistics —
+/// across arbitrary histories with ring wrap and acknowledgment holes.
+#[test]
+fn indexed_cam_matches_naive_reference() {
+    pmacc_prop::check("indexed_cam_matches_naive_reference", |g| {
+        let entries = g.gen_range(2u64..12);
+        let coalesce = g.gen::<bool>();
+        let cfg = TxCacheConfig {
+            size_bytes: entries * 64,
+            coalesce,
+            ..TxCacheConfig::dac17()
+        };
+        let mut fast = TxCache::new(&cfg);
+        let mut naive = NaiveTc::new(&cfg);
+        // Two interleaved transaction streams stress the coalescing
+        // boundary (a different transaction's entry at the head must stop
+        // the newest-first CAM search).
+        let mut serials = [0u64, 1];
+        let mut next_serial = 2u64;
+        let mut issued: Vec<usize> = Vec::new();
+        let ops = g.vec(1..300, arb_eq_op);
+
+        for op in ops {
+            match op {
+                EqOp::Insert(s, w) => {
+                    let tx = TxId::new(0, serials[usize::from(s)]);
+                    let a = fast.insert(tx, word(w), u64::from(w));
+                    let b = naive.insert(tx, word(w), u64::from(w));
+                    assert_eq!(a.is_ok(), b.is_ok(), "insert outcome");
+                }
+                EqOp::Commit(s) => {
+                    let tx = TxId::new(0, serials[usize::from(s)]);
+                    assert_eq!(fast.commit(tx), naive.commit(tx), "commit count");
+                    serials[usize::from(s)] = next_serial;
+                    next_serial += 1;
+                }
+                EqOp::Discard(s) => {
+                    let tx = TxId::new(0, serials[usize::from(s)]);
+                    assert_eq!(fast.discard_active(tx), naive.discard_active(tx));
+                    serials[usize::from(s)] = next_serial;
+                    next_serial += 1;
+                }
+                EqOp::Issue => {
+                    let a = fast.next_issue();
+                    let b = naive.next_issue();
+                    assert_eq!(a, b, "next_issue");
+                    if let Some((slot, _)) = a {
+                        fast.mark_issued(slot);
+                        naive.mark_issued(slot);
+                        issued.push(slot);
+                    }
+                }
+                EqOp::AckSlot(k) => {
+                    if !issued.is_empty() {
+                        let slot = issued.remove(usize::from(k) % issued.len());
+                        fast.ack_slot(slot);
+                        naive.ack_slot(slot);
+                    }
+                }
+                EqOp::AckLine(w) => {
+                    let a = fast.ack_line(word(w).line());
+                    let b = naive.ack_line(word(w).line());
+                    assert_eq!(a, b, "ack_line slot");
+                    if let Some(slot) = a {
+                        issued.retain(|&s| s != slot);
+                    }
+                }
+                EqOp::Probe(w) => {
+                    assert_eq!(fast.probe(word(w).line()), naive.probe(word(w).line()));
+                }
+            }
+            assert_eq!(fast.occupancy(), naive.len, "occupancy");
+            assert_eq!(fast.active_entries(), naive.active_len, "active");
+            assert_eq!(fast.is_full(), naive.is_full(), "fullness");
+            assert_eq!(
+                fast.overflow_triggered(),
+                naive.overflow_triggered(),
+                "overflow trigger"
+            );
+            assert_eq!(fast.entries_fifo(), naive.entries_fifo(), "FIFO image");
+            let s = &fast.stats;
+            let got = NaiveStats {
+                inserts: s.inserts.value(),
+                coalesced: s.coalesced.value(),
+                commits: s.commits.value(),
+                acks: s.acks.value(),
+                probe_hits: s.probe_hits.value(),
+                probe_misses: s.probe_misses.value(),
+                full_rejections: s.full_rejections.value(),
+                high_water: s.high_water.value(),
+            };
+            assert_eq!(got, naive.stats, "statistics");
+        }
+    });
+}
+
 #[test]
 fn probe_always_returns_newest() {
     pmacc_prop::check("probe_always_returns_newest", |g| {

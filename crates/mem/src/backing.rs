@@ -4,10 +4,36 @@
 //! records *what* is there, at 64-bit-word granularity. The NVM backing is
 //! the ground truth that crash recovery inspects; the DRAM backing is
 //! cleared by a simulated crash.
+//!
+//! Storage is line-granular: one map entry holds a whole cache line
+//! (`[Word; WORDS_PER_LINE]` plus a written-word mask), so the hot
+//! [`Backing::read_line`]/[`Backing::write_line`] pair costs one map
+//! lookup instead of eight. The word-level API and semantics are
+//! unchanged — the mask keeps "which words were ever written" exact, so
+//! [`Backing::len`], [`Backing::iter`] and equality behave as they did
+//! when every word was its own entry.
 
-use std::collections::HashMap;
+use pmacc_types::{FxHashMap, LineAddr, Word, WordAddr, WORDS_PER_LINE};
 
-use pmacc_types::{LineAddr, Word, WordAddr, WORDS_PER_LINE};
+/// One line's stored words plus the bitmask of explicitly written words.
+///
+/// Words with a clear mask bit hold zero, so reads never consult the mask;
+/// it only keeps the written-word accounting (`len`, `iter`, equality)
+/// exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineCell {
+    mask: u8,
+    words: [Word; WORDS_PER_LINE],
+}
+
+impl LineCell {
+    const fn empty() -> Self {
+        LineCell {
+            mask: 0,
+            words: [0; WORDS_PER_LINE],
+        }
+    }
+}
 
 /// Word-granularity memory contents for one region.
 ///
@@ -26,7 +52,9 @@ use pmacc_types::{LineAddr, Word, WordAddr, WORDS_PER_LINE};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Backing {
-    words: HashMap<WordAddr, Word>,
+    lines: FxHashMap<LineAddr, LineCell>,
+    /// Total written words (sum of mask popcounts), kept so `len` is O(1).
+    written: usize,
 }
 
 impl Backing {
@@ -39,66 +67,84 @@ impl Backing {
     /// Reads one word (zero if never written).
     #[must_use]
     pub fn read_word(&self, addr: WordAddr) -> Word {
-        self.words.get(&addr).copied().unwrap_or(0)
+        self.lines
+            .get(&addr.line())
+            .map_or(0, |c| c.words[addr.index_in_line()])
     }
 
     /// Writes one word.
     pub fn write_word(&mut self, addr: WordAddr, value: Word) {
-        self.words.insert(addr, value);
+        let cell = self.lines.entry(addr.line()).or_insert(LineCell::empty());
+        let bit = 1u8 << addr.index_in_line();
+        if cell.mask & bit == 0 {
+            cell.mask |= bit;
+            self.written += 1;
+        }
+        cell.words[addr.index_in_line()] = value;
     }
 
     /// Reads a whole line as its eight words.
     #[must_use]
     pub fn read_line(&self, line: LineAddr) -> [Word; WORDS_PER_LINE] {
-        let mut out = [0; WORDS_PER_LINE];
-        for (i, w) in line.words().enumerate() {
-            out[i] = self.read_word(w);
-        }
-        out
+        self.lines
+            .get(&line)
+            .map_or([0; WORDS_PER_LINE], |c| c.words)
     }
 
     /// Writes a whole line from its eight words.
     pub fn write_line(&mut self, line: LineAddr, values: &[Word; WORDS_PER_LINE]) {
-        for (i, w) in line.words().enumerate() {
-            self.words.insert(w, values[i]);
-        }
+        let cell = self.lines.entry(line).or_insert(LineCell::empty());
+        self.written += (!cell.mask).count_ones() as usize;
+        cell.mask = !0;
+        cell.words = *values;
     }
 
     /// Number of distinct words ever written.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.written
     }
 
     /// Whether nothing was ever written.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.written == 0
     }
 
     /// Erases everything (a crash, for the DRAM region).
     pub fn clear(&mut self) {
-        self.words.clear();
+        self.lines.clear();
+        self.written = 0;
     }
 
-    /// Iterates over all written `(address, value)` pairs in arbitrary
-    /// order.
+    /// Iterates over all written `(address, value)` pairs in ascending
+    /// address order (an iteration boundary, so it is sorted for
+    /// determinism; callers that need a different order sort themselves).
     pub fn iter(&self) -> impl Iterator<Item = (WordAddr, Word)> + '_ {
-        self.words.iter().map(|(a, v)| (*a, *v))
+        let mut keys: Vec<LineAddr> = self.lines.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().flat_map(move |line| {
+            let cell = self.lines[&line];
+            (0..WORDS_PER_LINE)
+                .filter(move |i| cell.mask & (1 << i) != 0)
+                .map(move |i| (line.word(i), cell.words[i]))
+        })
     }
 }
 
 impl FromIterator<(WordAddr, Word)> for Backing {
     fn from_iter<I: IntoIterator<Item = (WordAddr, Word)>>(iter: I) -> Self {
-        Backing {
-            words: iter.into_iter().collect(),
-        }
+        let mut b = Backing::new();
+        b.extend(iter);
+        b
     }
 }
 
 impl Extend<(WordAddr, Word)> for Backing {
     fn extend<I: IntoIterator<Item = (WordAddr, Word)>>(&mut self, iter: I) {
-        self.words.extend(iter);
+        for (a, v) in iter {
+            self.write_word(a, v);
+        }
     }
 }
 
@@ -139,5 +185,65 @@ mod tests {
         b.extend([(WordAddr::new(2), 20)]);
         assert_eq!(b.read_word(WordAddr::new(1)), 10);
         assert_eq!(b.read_word(WordAddr::new(2)), 20);
+    }
+
+    #[test]
+    fn word_writes_straddling_lines_round_trip() {
+        // Words 6..10 span the boundary between lines 0 and 1.
+        let mut b = Backing::new();
+        for w in 6..10u64 {
+            b.write_word(WordAddr::new(w), 100 + w);
+        }
+        assert_eq!(b.len(), 4);
+        for w in 6..10u64 {
+            assert_eq!(b.read_word(WordAddr::new(w)), 100 + w);
+        }
+        // Each partial line reads back the written words plus zeros.
+        let l0 = b.read_line(LineAddr::new(0));
+        assert_eq!(&l0[..6], &[0; 6]);
+        assert_eq!(&l0[6..], &[106, 107]);
+        let l1 = b.read_line(LineAddr::new(1));
+        assert_eq!(&l1[..2], &[108, 109]);
+        assert_eq!(&l1[2..], &[0; 6]);
+    }
+
+    #[test]
+    fn len_counts_written_words_not_lines() {
+        let mut b = Backing::new();
+        b.write_word(WordAddr::new(3), 1);
+        b.write_word(WordAddr::new(3), 2); // overwrite: still one word
+        assert_eq!(b.len(), 1);
+        b.write_word(WordAddr::new(4), 3); // same line, new word
+        assert_eq!(b.len(), 2);
+        b.write_line(LineAddr::new(0), &[9; WORDS_PER_LINE]);
+        assert_eq!(b.len(), WORDS_PER_LINE, "line write covers words 0..8");
+        b.write_line(LineAddr::new(2), &[7; WORDS_PER_LINE]);
+        assert_eq!(b.len(), 2 * WORDS_PER_LINE);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_exact() {
+        // Insert in a scattered order across several lines; iter() must
+        // yield exactly the written words, ascending, with no padding
+        // zeros for never-written neighbours (recovery checks rely on
+        // "written" staying exact).
+        let mut b = Backing::new();
+        let writes = [(170u64, 1u64), (3, 2), (99, 3), (8, 4), (168, 5)];
+        for (w, v) in writes {
+            b.write_word(WordAddr::new(w), v);
+        }
+        let got: Vec<(u64, u64)> = b.iter().map(|(w, v)| (w.raw(), v)).collect();
+        assert_eq!(got, vec![(3, 2), (8, 4), (99, 3), (168, 5), (170, 1)]);
+    }
+
+    #[test]
+    fn equality_tracks_written_words() {
+        let mut a = Backing::new();
+        let mut b = Backing::new();
+        assert_eq!(a, b);
+        a.write_word(WordAddr::new(1), 0);
+        assert_ne!(a, b, "an explicit zero write is a written word");
+        b.write_word(WordAddr::new(1), 0);
+        assert_eq!(a, b);
     }
 }

@@ -1,10 +1,10 @@
 //! The memory-channel controller: queues, scheduling and timing.
 
 use core::fmt;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 
-use pmacc_types::{AccessKind, Cycle, Freq, MemConfig, MemRegion, MemReq, ReqId};
+use pmacc_types::{AccessKind, Cycle, Freq, FxHashMap, MemConfig, MemRegion, MemReq, ReqId};
 
 use crate::bank::{AddressMap, BankState};
 use crate::scheduler::SchedPolicy;
@@ -75,7 +75,7 @@ pub struct MemController {
     write_q: VecDeque<(Cycle, MemReq)>,
     /// Requests coalesced onto a queued write, keyed by the queued
     /// request's id; they complete together with it.
-    merged: HashMap<ReqId, Vec<MemReq>>,
+    merged: FxHashMap<ReqId, Vec<MemReq>>,
     pending: BinaryHeap<Pending>,
     bus_free: Cycle,
     drain_mode: bool,
@@ -101,7 +101,7 @@ impl MemController {
             banks: vec![BankState::new(); cfg.banks() as usize],
             read_q: VecDeque::with_capacity(cfg.read_queue),
             write_q: VecDeque::with_capacity(cfg.write_queue),
-            merged: HashMap::new(),
+            merged: FxHashMap::default(),
             pending: BinaryHeap::new(),
             bus_free: 0,
             drain_mode: false,

@@ -1,9 +1,7 @@
 //! Per-channel statistics.
 
-use std::collections::BTreeMap;
-
 use pmacc_telemetry::{Json, ToJson};
-use pmacc_types::{Counter, Histogram, LineAddr, Ratio, WriteCause};
+use pmacc_types::{Counter, FxHashMap, Histogram, LineAddr, Ratio, WriteCause};
 
 /// Counters collected by one memory controller. Figure 9 of the paper is
 /// built from [`MemStats::writes`] broken down by [`WriteCause`].
@@ -27,11 +25,12 @@ pub struct MemStats {
     pub coalesced_writes: Counter,
     /// Device writes per line — the endurance/wear profile. NVM cells
     /// wear out with writes, so persistence schemes are also judged by
-    /// how hard they hammer hot lines. A `BTreeMap` so that iteration,
-    /// `Debug` rendering and [`MemStats::hottest_line`] tie-breaking are
-    /// deterministic — the parallel experiment runner asserts
-    /// bit-identical reports at any worker count.
-    pub writes_per_line: BTreeMap<LineAddr, u64>,
+    /// how hard they hammer hot lines. Updated on every device write, so
+    /// it uses the fast seed-free hash map; anything order-sensitive
+    /// ([`MemStats::hottest_line`] tie-breaking, report serialization)
+    /// sorts explicitly at the boundary instead — the parallel experiment
+    /// runner asserts bit-identical reports at any worker count.
+    pub writes_per_line: FxHashMap<LineAddr, u64>,
 }
 
 impl MemStats {
@@ -57,11 +56,14 @@ impl MemStats {
     }
 
     /// The most-written line and its write count, if any writes happened.
+    /// Ties break toward the highest line address (the behaviour the
+    /// ordered-map implementation had), independent of map iteration
+    /// order.
     #[must_use]
     pub fn hottest_line(&self) -> Option<(LineAddr, u64)> {
         self.writes_per_line
             .iter()
-            .max_by_key(|(_, n)| **n)
+            .max_by_key(|(l, n)| (**n, **l))
             .map(|(l, n)| (*l, *n))
     }
 

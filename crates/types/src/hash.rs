@@ -1,0 +1,158 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! The standard library's default `SipHash` is a DoS-resistant keyed hash:
+//! exactly the wrong trade-off for a simulator whose maps are keyed by
+//! small trusted integers ([`crate::LineAddr`], [`crate::WordAddr`],
+//! request ids) and probed millions of times per run. [`FxHasher`] is the
+//! multiply-xor scheme used by rustc's own interner tables (widely known
+//! as FxHash): one rotate, one xor and one multiply per 8-byte word, no
+//! per-map random seed.
+//!
+//! Determinism is a feature here, not just speed: the parallel experiment
+//! runner asserts byte-identical reports at any worker count, so any map
+//! whose iteration might leak into a report must either be sorted at the
+//! boundary or hash identically across processes. `FxBuildHasher` has no
+//! random state, so [`FxHashMap`] iteration order is a pure function of
+//! the inserted keys.
+//!
+//! # Example
+//!
+//! ```
+//! use pmacc_types::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiply constant: `2^64 / phi`, the same odd constant used by
+/// Fibonacci hashing and the rustc FxHash implementation.
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A multiply-xor (FxHash-style) streaming hasher.
+///
+/// Not cryptographic and not DoS-resistant — do not use it for keys an
+/// adversary controls. Simulator keys are addresses and ids produced by
+/// the simulator itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// Deterministic (seed-free) builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]: fast and deterministic across
+/// processes (iteration order is still unspecified — sort at report
+/// boundaries).
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h: Vec<u64> = (0u64..64).map(|i| hash_of(&i)).collect();
+        let mut uniq = h.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), h.len(), "no collisions on small integers");
+    }
+
+    #[test]
+    fn byte_stream_matches_padding_rules() {
+        // 8-byte chunks plus a zero-padded tail; equal prefixes with
+        // different tails must differ.
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh123");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefgh124");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(s.contains(&9));
+    }
+}

@@ -24,6 +24,7 @@ mod addr;
 mod config;
 mod cycle;
 mod error;
+pub mod hash;
 pub mod layout;
 mod request;
 pub mod rng;
@@ -35,6 +36,7 @@ pub use addr::{Addr, LineAddr, MemRegion, WordAddr, LINE_BYTES, WORDS_PER_LINE, 
 pub use config::{CacheConfig, CoreConfig, MachineConfig, MemConfig, NvLlcConfig, SchemeKind, TxCacheConfig};
 pub use cycle::{Cycle, Freq};
 pub use error::{ConfigError, SimError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use request::{AccessKind, CoreId, MemReq, ReqId, WriteCause};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Ratio};

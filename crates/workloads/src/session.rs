@@ -1,10 +1,8 @@
 //! The recording memory session the data structures run on.
 
-use std::collections::HashMap;
-
 use pmacc_cpu::{Op, Trace};
 use pmacc_types::rng::Rng;
-use pmacc_types::{layout, Addr, Word, WordAddr};
+use pmacc_types::{layout, Addr, FxHashMap, Word, WordAddr};
 
 use crate::heap::Heap;
 
@@ -38,7 +36,7 @@ use crate::heap::Heap;
 /// ```
 #[derive(Debug)]
 pub struct MemSession {
-    mem: HashMap<WordAddr, Word>,
+    mem: FxHashMap<WordAddr, Word>,
     initial: Vec<(WordAddr, Word)>,
     trace: Trace,
     recording: bool,
@@ -52,7 +50,7 @@ impl MemSession {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         MemSession {
-            mem: HashMap::new(),
+            mem: FxHashMap::default(),
             initial: Vec::new(),
             trace: Trace::new(),
             recording: false,
@@ -136,7 +134,7 @@ impl MemSession {
     /// Consumes the session, returning the trace, the initial image
     /// (memory at [`MemSession::start_recording`]) and the final image.
     #[must_use]
-    pub fn finish(self) -> (Trace, Vec<(WordAddr, Word)>, HashMap<WordAddr, Word>) {
+    pub fn finish(self) -> (Trace, Vec<(WordAddr, Word)>, FxHashMap<WordAddr, Word>) {
         (self.trace, self.initial, self.mem)
     }
 }

@@ -1,11 +1,10 @@
 //! Workload registry and trace generation (paper Table 3).
 
 use core::fmt;
-use std::collections::HashMap;
 use std::str::FromStr;
 
 use pmacc_cpu::Trace;
-use pmacc_types::{ConfigError, Word, WordAddr};
+use pmacc_types::{ConfigError, FxHashMap, Word, WordAddr};
 
 use crate::btree::BPlusTree;
 use crate::graph::AdjacencyGraph;
@@ -163,7 +162,7 @@ pub struct WorkloadTrace {
     /// Memory contents at recording start (seeds NVM/DRAM backing).
     pub initial: Vec<(WordAddr, Word)>,
     /// Memory contents after the full trace ran (ground truth).
-    pub final_image: HashMap<WordAddr, Word>,
+    pub final_image: FxHashMap<WordAddr, Word>,
 }
 
 /// Builds the trace for one benchmark instance.
@@ -325,7 +324,7 @@ mod tests {
     fn replaying_trace_stores_over_initial_yields_final_image() {
         for kind in WorkloadKind::extended() {
             let w = build(kind, &WorkloadParams::tiny(5));
-            let mut mem: HashMap<WordAddr, Word> = w.initial.iter().copied().collect();
+            let mut mem: FxHashMap<WordAddr, Word> = w.initial.iter().copied().collect();
             for op in w.trace.ops() {
                 if let Op::Store { addr, value } = op {
                     mem.insert(addr.word(), *value);

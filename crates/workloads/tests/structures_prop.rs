@@ -169,7 +169,7 @@ fn trace_replay_reconstructs_memory() {
             t.insert(&mut s, k, v);
         }
         let (trace, initial, final_image) = s.finish();
-        let mut mem: HashMap<_, _> = initial.into_iter().collect();
+        let mut mem: pmacc_types::FxHashMap<_, _> = initial.into_iter().collect();
         for op in trace.ops() {
             if let Op::Store { addr, value } = op {
                 mem.insert(addr.word(), *value);
