@@ -59,4 +59,22 @@ else
         --quick --json BENCH_pmacc.json
 fi
 
+# Crash-campaign gate: a quick-scale fault-injection sweep (every scheme
+# × workload × {1,2} cores plus the COW-overflow cell, hundreds of
+# boundary-clustered crash points per cell) must record zero oracle
+# violations in persistent-scheme cells; the report is then re-read with
+# --verify to prove the artifact itself parses and validates. Opt out
+# with PMACC_SKIP_CRASHGRID=1 while iterating on recovery code.
+if [[ "${PMACC_SKIP_CRASHGRID:-0}" == "1" ]]; then
+    echo "==> crashgrid skipped (PMACC_SKIP_CRASHGRID=1)"
+else
+    echo "==> crashgrid --quick (crash-consistency campaign, 4 workers)"
+    crashgrid_json="$(mktemp)"
+    cargo run --release --offline -q -p pmacc-bench --bin crashgrid -- \
+        --quick --jobs 4 --json "$crashgrid_json"
+    cargo run --release --offline -q -p pmacc-bench --bin crashgrid -- \
+        --verify "$crashgrid_json"
+    rm -f "$crashgrid_json"
+fi
+
 echo "==> ci.sh: all green"

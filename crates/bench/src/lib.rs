@@ -7,8 +7,11 @@
 //! independent cell, `PMACC_JOBS`/`--jobs` workers, bit-identical
 //! results at any job count); [`figures`] turns grids into the paper's
 //! tables and figures as markdown; [`report`] flattens the same grids
-//! into machine-readable JSON and backs the regression gate; the
-//! `reproduce` and `regress` binaries drive everything:
+//! into machine-readable JSON and backs the regression gate;
+//! [`crashgrid`] runs dense fault-injection campaigns (every scheme ×
+//! workload × core-count cell crashed at hundreds of boundary-clustered
+//! points, violations minimized into replayable reproducers); the
+//! `reproduce`, `regress` and `crashgrid` binaries drive everything:
 //!
 //! ```text
 //! cargo run --release -p pmacc-bench --bin reproduce              # all
@@ -17,8 +20,10 @@
 //! cargo run --release -p pmacc-bench --bin reproduce -- --quick \
 //!     --json out.json fig6 fig9                                   # + JSON
 //! cargo run --release -p pmacc-bench --bin regress -- --quick     # gate
+//! cargo run --release -p pmacc-bench --bin crashgrid -- --quick   # faults
 //! ```
 
+pub mod crashgrid;
 pub mod figures;
 pub mod grid;
 pub mod harness;
@@ -27,5 +32,6 @@ pub mod report;
 pub mod suggest;
 pub mod table;
 
+pub use crashgrid::{run_campaign, CampaignConfig, CampaignReport, CRASHGRID_SCHEMA};
 pub use grid::{run_grid, GridResults, Scale};
 pub use table::FigTable;

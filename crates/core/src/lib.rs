@@ -47,5 +47,5 @@ mod system;
 mod txcache;
 
 pub use metrics::RunReport;
-pub use system::{stride_trace, stride_word, RunConfig, System};
+pub use system::{stride_trace, stride_word, BoundaryClass, RunConfig, System};
 pub use txcache::{EntryState, TcEntry, TcFullError, TcStats, TxCache};

@@ -61,6 +61,14 @@ pub struct RunConfig {
     /// fractions); the most recent samples ride along in
     /// [`RunReport::series`]. Zero disables sampling entirely.
     pub sample_period: Cycle,
+    /// Record every durability-boundary cycle (`TX_END` retirement,
+    /// drain/flush acknowledgment, COW commit/install) for
+    /// [`System::boundaries`]. Observation-only — recording never
+    /// perturbs timing — but it costs memory proportional to the number
+    /// of durable writes, so it defaults off and is switched on by the
+    /// crash-campaign harness, which clusters crash points around these
+    /// cycles.
+    pub record_boundaries: bool,
 }
 
 impl Default for RunConfig {
@@ -69,8 +77,27 @@ impl Default for RunConfig {
             max_cycles: 20_000_000_000,
             warmup_commits: 0,
             sample_period: 32_768,
+            record_boundaries: false,
         }
     }
+}
+
+/// Which kind of durability boundary a cycle recorded by
+/// [`System::boundaries`] marks — the moments where the crash-visible
+/// state actually changes, and therefore where atomicity is at risk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BoundaryClass {
+    /// A `TX_END` retired: the transaction entered the golden journal
+    /// (for the TC scheme its buffered entries flipped to committed; for
+    /// NVLLC its lines were tagged committed; for SP its commit marker
+    /// flushed).
+    TxEnd,
+    /// A durable NVM-image update was acknowledged: a transaction-cache
+    /// drain ack, an SP log/data flush ack, or an NVM write-back landed.
+    DrainAck,
+    /// A COW-path boundary: an overflowed transaction's commit record
+    /// became durable, or one of its home-location installs landed.
+    CowCommit,
 }
 
 /// Samples the time series retains before the ring starts dropping the
@@ -291,6 +318,9 @@ pub struct System {
     measure_start: Cycle,
     warmup_done: bool,
     journal: Vec<TxRecord>,
+    /// Durability-boundary cycles (empty unless
+    /// [`RunConfig::record_boundaries`] is set).
+    boundaries: Vec<(Cycle, BoundaryClass)>,
     dropped_llc_writes: Counter,
     clock: Cycle,
     events: BinaryHeap<Reverse<(Cycle, u64, Event)>>,
@@ -403,6 +433,7 @@ impl System {
             measure_start: 0,
             warmup_done: false,
             journal: Vec::new(),
+            boundaries: Vec::new(),
             dropped_llc_writes: Counter::new(),
             clock: 0,
             events: BinaryHeap::new(),
@@ -523,6 +554,31 @@ impl System {
     #[must_use]
     pub fn journal(&self) -> &[TxRecord] {
         &self.journal
+    }
+
+    /// The recorded durability-boundary cycles, in the order the
+    /// simulator crossed them (non-decreasing). Empty unless the run was
+    /// built with [`RunConfig::record_boundaries`] set. Each entry is the
+    /// event-processing cycle at which the crash-visible state changed,
+    /// so crash points clustered around these cycles probe exactly the
+    /// transitions where atomicity is at risk.
+    #[must_use]
+    pub fn boundaries(&self) -> &[(Cycle, BoundaryClass)] {
+        &self.boundaries
+    }
+
+    /// The current simulation cycle (the timestamp [`System::crash_state`]
+    /// stamps on its snapshot).
+    #[must_use]
+    pub fn clock(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Appends a durability-boundary record (no-op unless enabled).
+    fn record_boundary(&mut self, class: BoundaryClass) {
+        if self.run_cfg.record_boundaries {
+            self.boundaries.push((self.clock, class));
+        }
     }
 
     fn push_event(&mut self, at: Cycle, ev: Event) {
@@ -1263,6 +1319,7 @@ impl System {
 
     fn finish_txend(&mut self, c: usize) {
         let (tx, _) = self.cores[c].txend.take().expect("txend in progress");
+        self.record_boundary(BoundaryClass::TxEnd);
         self.cores[c].tx_writes.clear();
         self.cores[c].tx_lines.clear();
         self.journal.push(TxRecord {
@@ -1591,9 +1648,15 @@ impl System {
                 }
             }
             Origin::Writeback { line, words } => {
+                if region == MemRegion::Nvm {
+                    self.record_boundary(BoundaryClass::DrainAck);
+                }
                 self.apply_line(region, line, &words);
             }
             Origin::FlushAck { core, words, line } => {
+                if region == MemRegion::Nvm {
+                    self.record_boundary(BoundaryClass::DrainAck);
+                }
                 self.apply_line(region, line, &words);
                 self.cores[core].pending_flushes -= 1;
                 if self.cores[core].blocked == Some(StallKind::Fence) {
@@ -1607,6 +1670,7 @@ impl System {
                 line,
                 values,
             } => {
+                self.record_boundary(BoundaryClass::DrainAck);
                 for (i, v) in values.iter().enumerate() {
                     if let Some(v) = v {
                         self.nvm_backing.write_word(line.word(i), *v);
@@ -1628,6 +1692,7 @@ impl System {
                 }
             }
             Origin::CowRecord { core, tx } => {
+                self.record_boundary(BoundaryClass::CowCommit);
                 if let Some(s) = self.cow_shadow[core]
                     .iter_mut()
                     .rev()
@@ -1682,6 +1747,7 @@ impl System {
                 word,
                 value,
             } => {
+                self.record_boundary(BoundaryClass::CowCommit);
                 self.nvm_backing.write_word(word, value);
                 if let Some(n) = self.cow_installs.get_mut(&(core, tx)) {
                     *n -= 1;

@@ -505,3 +505,157 @@ fn probe_always_returns_newest() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Crash-time snapshot fidelity.
+//
+// The equivalence property above proves the CAM index answers queries
+// correctly; it says nothing about what a *power failure* sees. Recovery
+// reads the STT-RAM array through `entries_fifo` (that is exactly what
+// `System::crash_state` snapshots), so a hole punched mid-ring by an
+// out-of-order acknowledgment — especially one straddling a ring wrap —
+// must leave a snapshot from which recovery still reconstructs the
+// committed-transaction prefix exactly.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum CrashOp {
+    /// Buffer a store to heap line `w` (word 0 of the line).
+    Insert(u8),
+    /// Commit the running transaction, start the next.
+    Commit,
+    /// Abandon the running transaction (the overflow path discards its
+    /// active entries so they cannot replay at recovery).
+    Discard,
+    /// Issue the next committed entry toward the NVM.
+    Issue,
+    /// Complete one outstanding NVM write. The pick is random but
+    /// redirected to the oldest outstanding write *of that line*: the NVM
+    /// controller may reorder across lines (holes), never within one.
+    Ack(u8),
+}
+
+fn arb_crash_op(g: &mut Gen) -> CrashOp {
+    match g.weighted(&[5, 2, 1, 4, 3]) {
+        0 => CrashOp::Insert(g.gen_range(0u8..6)),
+        1 => CrashOp::Commit,
+        2 => CrashOp::Discard,
+        3 => CrashOp::Issue,
+        _ => CrashOp::Ack(g.gen_range(0u8..8)),
+    }
+}
+
+/// A persistent-heap word (one per line) so the recovery checker, which
+/// only compares the heap region, sees every write.
+fn heap_word(i: u8) -> WordAddr {
+    pmacc_types::layout::persistent_heap_base()
+        .offset(u64::from(i) * 64)
+        .word()
+}
+
+#[test]
+fn crash_snapshot_recovers_through_ring_wrap_holes() {
+    use pmacc::recovery::{check_recovery, recover, CrashState, TxRecord};
+    pmacc_prop::check("crash_snapshot_recovers_through_ring_wrap_holes", |g| {
+        // 2–5 entries: a few hundred ops wrap the ring many times over.
+        let entries = g.gen_range(2u64..6);
+        let cfg = TxCacheConfig {
+            size_bytes: entries * 64,
+            coalesce: g.gen::<bool>(),
+            ..TxCacheConfig::dac17()
+        };
+        let mut tc = TxCache::new(&cfg);
+        let mut nvm = pmacc_mem::Backing::new();
+        let mut journal: Vec<TxRecord> = Vec::new();
+        let mut serial = 0u64;
+        let mut cur_writes: Vec<(WordAddr, u64)> = Vec::new();
+        // Outstanding NVM writes in issue (= FIFO) order.
+        let mut issued: Vec<(usize, pmacc::TcEntry)> = Vec::new();
+        let mut next_value = 1u64;
+        let ops = g.vec(1..250, arb_crash_op);
+
+        for (step, op) in ops.into_iter().enumerate() {
+            let tx = TxId::new(0, serial);
+            match op {
+                CrashOp::Insert(w) => {
+                    let v = next_value;
+                    next_value += 1;
+                    if tc.insert(tx, heap_word(w), v).is_ok() {
+                        cur_writes.push((heap_word(w), v));
+                    }
+                }
+                CrashOp::Commit => {
+                    tc.commit(tx);
+                    journal.push(TxRecord {
+                        tx,
+                        commit_cycle: step as u64,
+                        writes: std::mem::take(&mut cur_writes),
+                    });
+                    serial += 1;
+                }
+                CrashOp::Discard => {
+                    // Only active entries vanish; committed (issued or
+                    // not) entries are untouched, so `issued` stays valid.
+                    tc.discard_active(tx);
+                    cur_writes.clear();
+                    serial += 1;
+                }
+                CrashOp::Issue => {
+                    if let Some((slot, entry)) = tc.next_issue() {
+                        tc.mark_issued(slot);
+                        issued.push((slot, entry));
+                    }
+                }
+                CrashOp::Ack(k) => {
+                    if !issued.is_empty() {
+                        let pick = usize::from(k) % issued.len();
+                        let line = issued[pick].1.line;
+                        // Same-line writes complete in order; cross-line
+                        // completions are free to race, punching holes in
+                        // the ring.
+                        let j = issued
+                            .iter()
+                            .position(|(_, e)| e.line == line)
+                            .expect("picked from issued");
+                        let (slot, entry) = issued.remove(j);
+                        for (i, v) in entry.values.iter().enumerate() {
+                            if let Some(v) = v {
+                                nvm.write_word(entry.line.word(i), *v);
+                            }
+                        }
+                        tc.ack_slot(slot);
+                    }
+                }
+            }
+
+            // Power fails here: recovery sees the durable NVM image plus
+            // the FIFO read-out of the transaction-cache array.
+            let snapshot = tc.entries_fifo();
+            assert!(
+                snapshot.iter().all(|e| e.state != EntryState::Available),
+                "acked entries must never appear in the crash snapshot"
+            );
+            let in_flight = (!cur_writes.is_empty() || tc.active_entries() > 0).then(|| TxRecord {
+                tx: TxId::new(0, serial),
+                commit_cycle: step as u64,
+                writes: cur_writes.clone(),
+            });
+            let state = CrashState {
+                cycle: step as u64,
+                scheme: pmacc_types::SchemeKind::TxCache,
+                cores: 1,
+                nvm: nvm.clone(),
+                initial_nvm: pmacc_mem::Backing::new(),
+                txcaches: vec![snapshot],
+                nv_llc_committed: pmacc_types::FxHashMap::default(),
+                cow: vec![Vec::new()],
+                journal: journal.clone(),
+                in_flight: vec![in_flight],
+            };
+            let recovered = recover(&state);
+            check_recovery(&state, &recovered).unwrap_or_else(|e| {
+                panic!("crash after step {step} ({op:?}): {e}");
+            });
+        }
+    });
+}

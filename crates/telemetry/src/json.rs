@@ -43,16 +43,18 @@ impl Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
-    /// Appends one key/value pair to an object.
+    /// Appends one key/value pair to an object, returning `&mut self` so
+    /// inserts chain.
     ///
-    /// # Panics
-    ///
-    /// Panics if `self` is not an object.
-    pub fn set(&mut self, key: impl Into<String>, value: Json) {
+    /// Calling this on a non-object is a caller bug: it trips a debug
+    /// assertion in debug builds and is a no-op (the value is dropped) in
+    /// release builds — report assembly must never take the process down.
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Json {
         match self {
             Json::Obj(pairs) => pairs.push((key.into(), value)),
-            _ => panic!("Json::set on a non-object"),
+            _ => debug_assert!(false, "Json::set on a non-object"),
         }
+        self
     }
 
     /// Looks up a key in an object (first match), or `None` for other
@@ -676,6 +678,29 @@ mod tests {
     fn deep_nesting_is_bounded() {
         let s = "[".repeat(1000) + &"]".repeat(1000);
         assert!(Json::parse(&s).is_err());
+    }
+
+    #[test]
+    fn set_appends_and_chains_on_objects() {
+        let mut v = Json::obj::<String>([]);
+        v.set("a", Json::Int(1)).set("b", Json::Bool(true));
+        assert_eq!(v.to_compact(), r#"{"a":1,"b":true}"#);
+    }
+
+    #[test]
+    fn set_on_a_non_object_never_brings_the_process_down() {
+        // Debug builds assert (caller bug); release builds no-op. Either
+        // way the value is left structurally intact.
+        let mut v = Json::Int(7);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            v.set("k", Json::Null);
+        }));
+        if cfg!(debug_assertions) {
+            assert!(outcome.is_err(), "debug build must trip the assertion");
+        } else {
+            assert!(outcome.is_ok(), "release build must no-op");
+        }
+        assert_eq!(v, Json::Int(7));
     }
 
     #[test]

@@ -1,1 +1,33 @@
-//! Integration-test host crate (tests live in `tests/tests`).
+//! Integration-test host crate (tests live in `tests/tests`) plus the
+//! shared test-support helpers those tests use.
+
+/// The legacy fixed crash-point spread: a handful of hand-picked cycles
+/// including awkward early/late ones and one point after quiescence.
+///
+/// This is the coarse baseline the `crashgrid` campaign engine is
+/// measured against (its dense schedules cover ≥ 50× as many points per
+/// cell); the end-to-end crash tests still use it as a fast smoke
+/// spread.
+#[must_use]
+pub fn crash_points(total: u64) -> Vec<u64> {
+    vec![
+        1,
+        total / 7,
+        total / 3,
+        total / 2,
+        (total * 2) / 3,
+        (total * 9) / 10,
+        total + 1_000_000, // after quiescence
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crash_points_cover_early_late_and_quiescent() {
+        let pts = super::crash_points(700);
+        assert_eq!(pts.len(), 7);
+        assert_eq!(pts[0], 1);
+        assert!(pts.last().copied().unwrap() > 700, "one point past quiescence");
+    }
+}

@@ -4,24 +4,12 @@
 
 use pmacc::recovery::{check_recovery, recover};
 use pmacc::{RunConfig, System};
+use pmacc_integration::crash_points;
 use pmacc_types::{MachineConfig, SchemeKind};
 use pmacc_workloads::{WorkloadKind, WorkloadParams};
 
 fn machine(scheme: SchemeKind) -> MachineConfig {
     MachineConfig::small().with_scheme(scheme)
-}
-
-fn crash_points(total: u64) -> Vec<u64> {
-    // A spread of crash points including awkward early/late ones.
-    vec![
-        1,
-        total / 7,
-        total / 3,
-        total / 2,
-        (total * 2) / 3,
-        (total * 9) / 10,
-        total + 1_000_000, // after quiescence
-    ]
 }
 
 fn total_cycles(scheme: SchemeKind, kind: WorkloadKind, seed: u64) -> u64 {

@@ -1,0 +1,79 @@
+//! Crash-campaign regression replays: every reproducer the `crashgrid`
+//! minimizer has ever emitted for a real (or deliberately injected)
+//! recovery defect is pinned here *verbatim* — the exact JSON the
+//! campaign wrote — and replayed on every test run.
+//!
+//! Two directions are checked:
+//!
+//! - With the recorded mutation in force, the replay must still fail:
+//!   the reproducer is self-contained and the minimized crash cycle
+//!   really is a point where the defect corrupts recovery.
+//! - With recovery intact (`mutation: none`), the *same* crash cycle
+//!   must be consistent: these are the most sensitive points the
+//!   campaign has found, so they make the sharpest regression guards
+//!   for the real recovery path.
+//!
+//! To pin a new case, paste the reproducer object from the campaign
+//! report (`crashgrid --json ...`, `reproducers` array) into the
+//! matching list below, unedited.
+
+use pmacc_bench::crashgrid::{Mutation, Reproducer};
+use pmacc_telemetry::Json;
+
+/// Reproducers minimized by `crashgrid --mutate ...` campaigns. Each
+/// records a deliberate recovery defect and the earliest crash cycle
+/// (under the smallest workload prefix) where that defect corrupts the
+/// recovered image.
+const MUTATION_REPRODUCERS: &[&str] = &[
+    // drop-committed-tc: recovery loses each core's newest committed
+    // transaction-cache entry.
+    r#"{"name": "tc-sps-c1-s42-cy321", "scheme": "tc", "workload": "sps", "cores": 1, "tc_entries": null, "num_ops": 1, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 321, "mutation": "drop-committed-tc"}"#,
+    r#"{"name": "tc-rbtree-c1-s42-cy3890", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 3890, "mutation": "drop-committed-tc"}"#,
+    // Same defect in the COW-overflow cell (4-entry transaction cache).
+    r#"{"name": "tc-rbtree-c1-tc4-s42-cy4102", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": 4, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 4102, "mutation": "drop-committed-tc"}"#,
+    // skip-cow-replay: recovery never applies committed COW shadows.
+    r#"{"name": "tc-rbtree-c1-s42-cy5788", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 5788, "mutation": "skip-cow-replay"}"#,
+    r#"{"name": "tc-rbtree-c1-tc4-s42-cy3992", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": 4, "num_ops": 6, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 3992, "mutation": "skip-cow-replay"}"#,
+];
+
+fn parse(raw: &str) -> Reproducer {
+    let doc = Json::parse(raw).expect("pinned reproducer is valid JSON");
+    Reproducer::from_json(&doc).expect("pinned reproducer parses")
+}
+
+#[test]
+fn pinned_mutation_reproducers_still_reproduce_their_defect() {
+    for raw in MUTATION_REPRODUCERS {
+        let r = parse(raw);
+        assert_ne!(r.mutation, Mutation::None, "{}: pin records a defect", r.name);
+        assert!(
+            r.replay().is_err(),
+            "{}: minimized defect no longer reproduces — if the mutation's \
+             meaning changed, re-minimize and re-pin",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn pinned_crash_cycles_are_consistent_with_recovery_intact() {
+    for raw in MUTATION_REPRODUCERS {
+        let mut r = parse(raw);
+        r.mutation = Mutation::None;
+        r.replay().unwrap_or_else(|e| {
+            panic!("{}: real recovery fails at this pinned crash cycle: {e}", r.name)
+        });
+    }
+}
+
+#[test]
+fn pinned_reproducers_roundtrip_byte_for_byte() {
+    // The pins are the campaign's own output: parsing and re-serializing
+    // must reproduce the exact object (field order included), so a pin
+    // can always be diffed against a fresh campaign report.
+    for raw in MUTATION_REPRODUCERS {
+        let doc = Json::parse(raw).expect("valid JSON");
+        let r = Reproducer::from_json(&doc).expect("parses");
+        assert_eq!(r.to_json(), doc, "{}", r.name);
+    }
+}
