@@ -77,4 +77,31 @@ else
     rm -f "$crashgrid_json"
 fi
 
+# Service-benchmark gate: the quick-scale open-system campaign (every
+# scheme calibrated closed-loop, then rate-ramped into saturation as a
+# KV server under Poisson arrivals) must emit a byte-identical
+# pmacc-serve-v1 report at --jobs 1 and --jobs 4, and that report must
+# match the checked-in baselines/serve-quick.json bit for bit. A PR
+# that changes timing or the campaign shape on purpose regenerates the
+# baseline (`serve --quick --json baselines/serve-quick.json`, commit
+# the result) — or sets PMACC_SKIP_SERVE=1 while iterating.
+if [[ "${PMACC_SKIP_SERVE:-0}" == "1" ]]; then
+    echo "==> serve skipped (PMACC_SKIP_SERVE=1)"
+else
+    echo "==> serve --quick (open-system service benchmark, jobs 1 vs 4)"
+    serve_one="$(mktemp)"
+    serve_four="$(mktemp)"
+    cargo run --release --offline -q -p pmacc-bench --bin serve -- \
+        --quick --jobs 1 --json "$serve_one" > /dev/null
+    cargo run --release --offline -q -p pmacc-bench --bin serve -- \
+        --quick --jobs 4 --json "$serve_four" > /dev/null
+    cmp "$serve_one" "$serve_four" \
+        || { echo "serve report differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+    cmp "$serve_four" baselines/serve-quick.json \
+        || { echo "serve report drifted from baselines/serve-quick.json" >&2; exit 1; }
+    cargo run --release --offline -q -p pmacc-bench --bin serve -- \
+        --verify baselines/serve-quick.json
+    rm -f "$serve_one" "$serve_four"
+fi
+
 echo "==> ci.sh: all green"

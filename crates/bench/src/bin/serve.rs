@@ -1,0 +1,253 @@
+//! The open-system service benchmark driver: rate ramps, latency tails
+//! and throughput ceilings per persistence scheme.
+//!
+//! ```text
+//! serve [--quick] [--seed N] [--jobs N] [--json FILE]
+//!       [--workload NAME] [--arrival poisson|bursty|diurnal]
+//!       [--schemes a,b] [--cores N] [--verify FILE]
+//! ```
+//!
+//! Each scheme is first calibrated closed-loop (its service capacity),
+//! then driven as a KV/heap server at a ladder of offered rates under
+//! the chosen arrival process. Per-request sojourn/wait/service times
+//! land in log2 histograms; the report quotes p50/p99/p99.9 latency, a
+//! stall-attributed tail breakdown (transaction-cache drain vs NVM
+//! queue pressure), and the per-scheme throughput ceiling.
+//!
+//! `--json FILE` writes the `pmacc-serve-v1` report — byte-identical at
+//! any `--jobs` count; wall-clock goes to stderr only. `--verify FILE`
+//! parses an existing report and validates its structure — the second
+//! half of the CI gate.
+//!
+//! Exit status: 0 when the campaign (or verification) succeeds.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pmacc_bench::pool::Options;
+use pmacc_bench::serve::{parse_report, run_serve, ArrivalKind, ServeCampaignConfig};
+use pmacc_telemetry::Json;
+
+fn verify_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("serve: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parse_report(&doc) {
+        Ok(s) => {
+            eprintln!(
+                "serve: {path} ok: {} scheme(s), {} rate point(s), {} completed, {} shed",
+                s.schemes, s.rate_points, s.total_completed, s.total_shed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {path} failed validation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut json_path: Option<String> = None;
+    let mut verify_path: Option<String> = None;
+    let mut schemes_arg: Option<String> = None;
+    let mut workload_arg: Option<String> = None;
+    let mut arrival = ArrivalKind::Poisson;
+    let mut cores_arg: Option<usize> = None;
+    let mut opts = Options {
+        progress: true,
+        ..Options::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {} // the only campaign scale for now
+            "--seed" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--jobs" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                opts.jobs = v;
+            }
+            "--json" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--json needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(p);
+            }
+            "--verify" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--verify needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                verify_path = Some(p);
+            }
+            "--schemes" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--schemes needs a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                schemes_arg = Some(v);
+            }
+            "--workload" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--workload needs a workload name");
+                    return ExitCode::FAILURE;
+                };
+                workload_arg = Some(v);
+            }
+            "--arrival" => {
+                match args.next().map(|v| v.parse()) {
+                    Some(Ok(k)) => arrival = k,
+                    Some(Err(e)) => {
+                        eprintln!("serve: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--arrival needs poisson|bursty|diurnal");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--cores" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
+                    eprintln!("--cores needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                cores_arg = Some(v);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve [--quick] [--seed N] [--jobs N] [--json FILE] \
+                     [--workload NAME] [--arrival poisson|bursty|diurnal] \
+                     [--schemes a,b] [--cores N] [--verify FILE]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; see --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &verify_path {
+        return verify_report(path);
+    }
+
+    let mut cfg = ServeCampaignConfig::quick(seed);
+    cfg.arrival = arrival;
+    if let Some(raw) = &schemes_arg {
+        let parsed: Result<Vec<_>, _> = raw
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse())
+            .collect();
+        match parsed {
+            Ok(v) if !v.is_empty() => cfg.schemes = v,
+            _ => {
+                eprintln!("serve: bad scheme list `{raw}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(raw) = &workload_arg {
+        match raw.parse() {
+            Ok(w) => cfg.workload = w,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(c) = cores_arg {
+        cfg.cores = c;
+    }
+
+    eprintln!(
+        "serve: ramping {} scheme(s) x {} rate(s) ({} arrivals, {} x{} requests, seed {seed}) \
+         on {} worker(s) ...",
+        cfg.schemes.len(),
+        cfg.load_fractions.len(),
+        cfg.arrival,
+        cfg.cores,
+        cfg.params.num_ops,
+        opts.jobs
+    );
+    let started = Instant::now();
+    let report = match run_serve(&cfg, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve: campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Wall-clock goes to stderr only: the JSON report must stay
+    // byte-identical across worker counts and machines.
+    eprintln!(
+        "serve: {} rate point(s) in {:.1}s",
+        report.curves.iter().map(|c| c.points.len()).sum::<usize>(),
+        started.elapsed().as_secs_f64()
+    );
+
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>6} {:>7}",
+        "scheme", "offered", "achieved", "p50", "p99", "p99.9", "tc-tail", "shed", "ceiling"
+    );
+    for curve in &report.curves {
+        for (i, p) in curve.points.iter().enumerate() {
+            let total = p.tc_stall.sum() + p.nvm_stall.sum();
+            let tc_share = if total == 0 {
+                0.0
+            } else {
+                p.tc_stall.sum() as f64 / total as f64
+            };
+            let ceiling = if i == 0 {
+                format!("{:.3}", curve.ceiling())
+            } else {
+                String::new()
+            };
+            println!(
+                "{:<8} {:>9.4} {:>9.4} {:>9} {:>8} {:>8} {:>8.0}% {:>6} {:>7}",
+                curve.scheme.to_string(),
+                p.offered,
+                p.achieved,
+                p.latency.percentile(0.50),
+                p.latency.percentile(0.99),
+                p.latency.percentile(0.999),
+                tc_share * 100.0,
+                p.shed,
+                ceiling
+            );
+        }
+    }
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json().to_pretty()) {
+            eprintln!("serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serve: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -29,9 +29,11 @@ pub mod grid;
 pub mod harness;
 pub mod pool;
 pub mod report;
+pub mod serve;
 pub mod suggest;
 pub mod table;
 
 pub use crashgrid::{run_campaign, CampaignConfig, CampaignReport, CRASHGRID_SCHEMA};
+pub use serve::{run_serve, ServeCampaignConfig, ServeReport, SERVE_SCHEMA};
 pub use grid::{run_grid, GridResults, Scale};
 pub use table::FigTable;

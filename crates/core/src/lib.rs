@@ -43,9 +43,11 @@ pub mod hwcost;
 mod metrics;
 pub mod recovery;
 pub mod scheme;
+mod service;
 mod system;
 mod txcache;
 
 pub use metrics::RunReport;
+pub use service::{ServeConfig, ServeCoreStats};
 pub use system::{stride_trace, stride_word, BoundaryClass, RunConfig, System};
 pub use txcache::{EntryState, TcEntry, TcFullError, TcStats, TxCache};

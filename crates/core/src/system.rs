@@ -18,6 +18,7 @@ use pmacc_cache::{Access, Eviction, Hierarchy, HierarchyOpts, Level, Mshr, Write
 use pmacc_cpu::{CoreStats, Op, StallKind, StoreBuffer, Trace, TxRegs};
 use pmacc_cpu::{PendingStore, StoreKind};
 use pmacc_mem::{Backing, Completion, MemController, SchedPolicy};
+use pmacc_types::rng::stream_seed;
 use pmacc_types::{
     layout, AccessKind, Addr, ConfigError, Counter, Cycle, FxHashMap, LineAddr, MachineConfig,
     MemRegion, MemReq, ReqId, SchemeKind, SimError, TxId, Word, WordAddr, WORDS_PER_LINE,
@@ -28,6 +29,7 @@ use pmacc_workloads::{build, WorkloadKind, WorkloadParams};
 use crate::metrics::RunReport;
 use crate::recovery::{CowTxShadow, CrashState, TxRecord};
 use crate::scheme;
+use crate::service::{self, ReqTiming, ServeConfig, ServeCore, ServeCoreStats, ServeState};
 use crate::txcache::TxCache;
 
 /// Per-core address stride so each core's workload instance occupies a
@@ -148,6 +150,12 @@ enum Event {
     CoreStep(usize),
     MemPoke(u8), // 0 = NVM, 1 = DRAM
     TcDrain(usize),
+    /// Clock-only wake-up: advances the clock (and the sampler) to an
+    /// exact cycle without touching any component — the skip-ahead
+    /// primitive `run_until` uses so a crash snapshot is stamped with the
+    /// *requested* cycle rather than whatever event happened to process
+    /// last before it.
+    Wake,
 }
 
 #[derive(Debug, Clone)]
@@ -337,6 +345,9 @@ pub struct System {
     wb_pending: WriteBackBuffer,
     mem_poke_at: [Option<Cycle>; 2],
     tc_drain_at: Vec<Option<Cycle>>,
+    /// Open-system service mode ([`System::enable_serve`]); `None` runs
+    /// the classic closed loop.
+    serve: Option<ServeState>,
     run_cfg: RunConfig,
     sampler: Sampler,
     /// Events processed (performance diagnostic).
@@ -445,6 +456,7 @@ impl System {
             wb_pending: WriteBackBuffer::new(4096),
             mem_poke_at: [None, None],
             tc_drain_at: vec![None; cfg.cores],
+            serve: None,
             run_cfg: *run_cfg,
             sampler: Sampler::new(run_cfg.sample_period),
             events_processed: 0,
@@ -491,7 +503,7 @@ impl System {
         let mut initial = Vec::new();
         for core in 0..cfg.cores {
             let mut p = *params;
-            p.seed = params.seed.wrapping_add(core as u64 * 0x9E37_79B9);
+            p.seed = stream_seed(params.seed, core as u64);
             let w = build(kind, &p);
             traces.push(stride_trace(&w.trace, core));
             initial.extend(
@@ -535,7 +547,7 @@ impl System {
         let mut initial = Vec::new();
         for (core, kind) in kinds.iter().enumerate() {
             let mut p = *params;
-            p.seed = params.seed.wrapping_add(core as u64 * 0x9E37_79B9);
+            p.seed = stream_seed(params.seed, core as u64);
             let w = build(*kind, &p);
             traces.push(stride_trace(&w.trace, core));
             initial.extend(w.initial.iter().map(|&(a, v)| (stride_word(a, core), v)));
@@ -572,6 +584,182 @@ impl System {
     #[must_use]
     pub fn clock(&self) -> Cycle {
         self.clock
+    }
+
+    /// Switches the run into open-system service mode: every transaction
+    /// of every core's trace becomes a *request* with the given arrival
+    /// cycle. Cores idle until a request arrives, defer admission while
+    /// the transaction cache or the NVM write queue is saturated
+    /// ([`ServeConfig::tc_high`] / [`ServeConfig::nvm_write_high`]), shed
+    /// requests whose queueing delay exceeds [`ServeConfig::max_wait`],
+    /// and record per-request latency into the histograms returned by
+    /// [`System::serve_stats`].
+    ///
+    /// Must be called before the first [`System::run`]/
+    /// [`System::run_until`] step; intended for runs with
+    /// [`RunConfig::warmup_commits`] of zero (a measurement reset would
+    /// clear the stall baselines mid-request).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if the arrival vectors do not match
+    /// the core count or the per-core transaction counts, or if any
+    /// per-core arrival sequence decreases.
+    pub fn enable_serve(&mut self, cfg: ServeConfig) -> Result<(), SimError> {
+        if cfg.arrivals.len() != self.cfg.cores {
+            return Err(ConfigError::new(format!(
+                "{} arrival streams supplied for {} cores",
+                cfg.arrivals.len(),
+                self.cfg.cores
+            ))
+            .into());
+        }
+        let mut cores = Vec::with_capacity(self.cfg.cores);
+        for (c, arrivals) in cfg.arrivals.into_iter().enumerate() {
+            let starts: Vec<usize> = (0..self.traces[c].len())
+                .filter(|&i| matches!(self.traces[c].get(i), Some(Op::TxBegin)))
+                .collect();
+            if arrivals.len() != starts.len() {
+                return Err(ConfigError::new(format!(
+                    "core {c}: {} arrivals for {} trace transactions",
+                    arrivals.len(),
+                    starts.len()
+                ))
+                .into());
+            }
+            if arrivals.windows(2).any(|w| w[0] > w[1]) {
+                return Err(
+                    ConfigError::new(format!("core {c}: arrivals must be non-decreasing")).into(),
+                );
+            }
+            cores.push(ServeCore {
+                arrivals,
+                starts,
+                next_req: 0,
+                cur: None,
+                stats: ServeCoreStats::default(),
+            });
+        }
+        self.serve = Some(ServeState {
+            cores,
+            tc_high: cfg.tc_high,
+            nvm_write_high: cfg.nvm_write_high,
+            max_wait: cfg.max_wait,
+        });
+        Ok(())
+    }
+
+    /// The per-core open-system statistics, if the run is in service
+    /// mode.
+    #[must_use]
+    pub fn serve_stats(&self) -> Option<Vec<&ServeCoreStats>> {
+        self.serve
+            .as_ref()
+            .map(|s| s.cores.iter().map(|c| &c.stats).collect())
+    }
+
+    /// Whether core `c`'s admission gate sees queue saturation: the
+    /// core's transaction cache at or above its high watermark, or the
+    /// NVM write queue full / above its fill watermark.
+    fn serve_pressure(&self, c: usize) -> bool {
+        let Some(s) = self.serve.as_ref() else {
+            return false;
+        };
+        let tc = &self.tcs[c];
+        let tc_hot =
+            tc.capacity() > 0 && tc.occupancy() as f64 >= s.tc_high * tc.capacity() as f64;
+        let wq = self.cfg.nvm.write_queue as f64;
+        let nvm_hot = self.nvm.write_queue_len() as f64 >= s.nvm_write_high * wq;
+        tc_hot || nvm_hot
+    }
+
+    /// The open-system admission gate, consulted at each request boundary
+    /// (`TX_BEGIN`). Returns `true` when the core must not start the
+    /// transaction this step: it idles until the request's arrival,
+    /// defers under queue pressure, or sheds the request entirely
+    /// (jumping its trace segment and burning its transaction serial so
+    /// later serials stay aligned with the recovery oracle's write
+    /// table).
+    fn serve_gate(&mut self, c: usize) -> bool {
+        let (k, arrival, max_wait) = {
+            let Some(s) = self.serve.as_ref() else {
+                return false;
+            };
+            let sc = &s.cores[c];
+            if sc.cur.is_some() {
+                return false;
+            }
+            let Some(&arr) = sc.arrivals.get(sc.next_req) else {
+                return false;
+            };
+            (sc.next_req, arr, s.max_wait)
+        };
+        let now = self.cores[c].time;
+        if now < arrival {
+            // No request yet: the core idles (batching in
+            // `handle_core_step` turns a long idle into an event-queue
+            // jump, not a spin).
+            self.cores[c].time = arrival;
+            return true;
+        }
+        if max_wait > 0 && now - arrival > max_wait {
+            // Admission control: the request waited past its deadline.
+            let end = {
+                let s = self.serve.as_ref().expect("serve state checked above");
+                s.cores[c]
+                    .starts
+                    .get(k + 1)
+                    .copied()
+                    .unwrap_or_else(|| self.traces[c].len())
+            };
+            self.cores[c].idx = end;
+            self.cores[c].regs.skip();
+            let s = self.serve.as_mut().expect("serve state checked above");
+            s.cores[c].stats.shed += 1;
+            s.cores[c].next_req += 1;
+            return true;
+        }
+        if self.serve_pressure(c) {
+            // Backpressure: hold the request and retry shortly.
+            self.cores[c].time = now + service::SERVE_RETRY;
+            let s = self.serve.as_mut().expect("serve state checked above");
+            s.cores[c].stats.backpressure_events += 1;
+            s.cores[c].stats.backpressure_cycles += service::SERVE_RETRY;
+            return true;
+        }
+        // Admit: timestamp the request and snapshot the stall baselines
+        // for completion-time attribution.
+        let stalls = service::stall_snapshot(&self.cores[c].stats);
+        let s = self.serve.as_mut().expect("serve state checked above");
+        s.cores[c].cur = Some(ReqTiming {
+            arrival,
+            admitted: now,
+            stalls,
+        });
+        s.cores[c].next_req += 1;
+        false
+    }
+
+    /// Books a completed request's sojourn/wait/service times and its
+    /// stall attribution (no-op outside service mode).
+    fn serve_complete(&mut self, c: usize) {
+        if self.serve.is_none() {
+            return;
+        }
+        let now = self.cores[c].time;
+        let end_stalls = service::stall_snapshot(&self.cores[c].stats);
+        let s = self.serve.as_mut().expect("checked above");
+        let Some(req) = s.cores[c].cur.take() else {
+            return;
+        };
+        let st = &mut s.cores[c].stats;
+        st.completed += 1;
+        st.latency.record(now.saturating_sub(req.arrival));
+        st.wait.record(req.admitted.saturating_sub(req.arrival));
+        st.service.record(now.saturating_sub(req.admitted));
+        let (tc, nvm) = service::attribute_stalls(&req.stalls, &end_stalls);
+        st.tc_stall.record(tc);
+        st.nvm_stall.record(nvm);
     }
 
     /// Appends a durability-boundary record (no-op unless enabled).
@@ -620,16 +808,32 @@ impl System {
                 what: "event queue drained with unfinished cores".into(),
             });
         }
+        // Samples are otherwise taken only when a later event crosses a
+        // sample point, so the windows between the last crossing and the
+        // end of the run (the drain tail) would be missing from the
+        // series; flush them up to the final cycle.
+        let end = self.cores.iter().map(|c| c.time).max().unwrap_or(self.clock);
+        while self.sampler.rec.is_some() && self.sampler.next <= end {
+            let at = self.sampler.next;
+            self.take_sample(at);
+            self.sampler.next += self.run_cfg.sample_period;
+        }
         Ok(self.report())
     }
 
     /// Processes events up to and including `limit` (a crash point), or
-    /// until everything quiesces.
+    /// until everything quiesces. For a finite `limit` the clock is
+    /// guaranteed to land on `limit` exactly (a clock-only wake event is
+    /// scheduled there), so [`System::crash_state`] stamps the requested
+    /// crash cycle even when no component event falls on it.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Deadlock`] if the cycle bound is exceeded.
     pub fn run_until(&mut self, limit: Cycle) -> Result<(), SimError> {
+        if limit < Cycle::MAX && limit >= self.clock && limit <= self.run_cfg.max_cycles {
+            self.push_event(limit, Event::Wake);
+        }
         while let Some(Reverse((t, _, _))) = self.events.peek().copied() {
             if t > limit {
                 break;
@@ -655,6 +859,7 @@ impl System {
                 Event::CoreStep(c) => self.handle_core_step(c),
                 Event::MemPoke(i) => self.handle_mem_poke(i),
                 Event::TcDrain(c) => self.handle_tc_drain(c),
+                Event::Wake => {}
             }
         }
         Ok(())
@@ -856,6 +1061,9 @@ impl System {
                 self.cores[c].idx += 1;
             }
             Op::TxBegin => {
+                if self.serve_gate(c) {
+                    return;
+                }
                 self.cores[c].regs.begin();
                 self.cores[c].tx_writes.clear();
                 self.cores[c].tx_lines.clear();
@@ -1331,6 +1539,7 @@ impl System {
         self.cores[c].charge(1, self.cfg.core.issue_width);
         self.cores[c].stats.ops.inc();
         self.cores[c].idx += 1;
+        self.serve_complete(c);
         if !self.warmup_done
             && self.run_cfg.warmup_commits > 0
             && self.journal.len() as u64 >= self.run_cfg.warmup_commits
@@ -2272,7 +2481,198 @@ mod tests {
         let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
         sys.run_until(500).unwrap();
         let state = sys.crash_state();
-        assert!(state.cycle <= 500);
+        assert_eq!(
+            state.cycle, 500,
+            "the snapshot is stamped with the requested crash cycle"
+        );
         assert_eq!(state.txcaches.len(), 2);
+    }
+
+    #[test]
+    fn run_until_lands_exactly_on_the_requested_cycle() {
+        // Even cycles that fall between component events — and cycles
+        // after the system has quiesced — must stamp exactly.
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        for limit in [3, 777, 12_345, 1_000_000] {
+            sys.run_until(limit).unwrap();
+            assert_eq!(sys.clock(), limit);
+            assert_eq!(sys.crash_state().cycle, limit);
+        }
+    }
+
+    #[test]
+    fn per_core_seeds_are_independent_streams() {
+        // Core 0 must not replay the base-seed trace verbatim (the old
+        // `wrapping_add(core * 0x9E37_79B9)` derivation did exactly that
+        // for core 0 and gave adjacent cores correlated streams).
+        let mut cfg = tiny_machine(SchemeKind::Optimal);
+        cfg.cores = 2;
+        let params = WorkloadParams::tiny(42);
+        let sys =
+            System::for_workload(cfg, WorkloadKind::Sps, &params, &RunConfig::default()).unwrap();
+        let base = build(WorkloadKind::Sps, &params);
+        let strided_base = stride_trace(&base.trace, 0);
+        assert!(
+            sys.traces[0] != scheme::instrument(SchemeKind::Optimal, 0, &strided_base),
+            "core 0 must get its own seed stream, not the base seed"
+        );
+        // And the two cores run distinct instances: an sps trace is all
+        // loads/stores at seed-chosen addresses, so the op sequences must
+        // differ beyond the per-core address stride.
+        let destride = |t: &Trace| -> Vec<String> {
+            t.ops()
+                .iter()
+                .map(|op| match *op {
+                    Op::Load { addr } => format!("L{}", addr.raw() % CORE_STRIDE),
+                    Op::Store { addr, .. } => format!("S{}", addr.raw() % CORE_STRIDE),
+                    ref other => format!("{other:?}"),
+                })
+                .collect()
+        };
+        assert_ne!(
+            destride(&sys.traces[0]),
+            destride(&sys.traces[1]),
+            "cores must run distinct workload instances"
+        );
+    }
+
+    #[test]
+    fn serve_with_immediate_arrivals_matches_the_closed_loop() {
+        // Arrivals of zero and disabled watermarks make service mode a
+        // strict superset of closed-loop replay: identical timing, every
+        // request completes, latency equals each request's completion
+        // time.
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut closed = System::new(cfg.clone(), traces.clone(), &[], &RunConfig::default())
+            .unwrap();
+        let closed_report = closed.run().unwrap();
+
+        let mut open = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        let ntx = open.traces[0].transactions() as usize;
+        let mut sc = ServeConfig::new(vec![vec![0; ntx]; 2]);
+        sc.tc_high = f64::INFINITY;
+        sc.nvm_write_high = f64::INFINITY;
+        open.enable_serve(sc).unwrap();
+        let open_report = open.run().unwrap();
+
+        assert_eq!(open_report.cycles, closed_report.cycles);
+        assert_eq!(open_report.total_committed(), closed_report.total_committed());
+        let stats = open.serve_stats().unwrap();
+        assert_eq!(stats.len(), 2);
+        for st in &stats {
+            assert_eq!(st.completed as usize, ntx);
+            assert_eq!(st.shed, 0);
+            assert_eq!(st.backpressure_events, 0);
+            assert_eq!(st.latency.count(), ntx as u64);
+            assert!(st.latency.max() > 0);
+        }
+    }
+
+    #[test]
+    fn serve_spaced_arrivals_idle_the_cores() {
+        // Requests arriving far apart stretch the run: the makespan is
+        // bounded below by the last arrival, and per-request sojourn
+        // times stay short (no queueing).
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        let ntx = sys.traces[0].transactions() as usize;
+        let spacing = 50_000u64;
+        let arrivals: Vec<Cycle> = (0..ntx as u64).map(|k| k * spacing).collect();
+        sys.enable_serve(ServeConfig::new(vec![arrivals; 2])).unwrap();
+        let report = sys.run().unwrap();
+        assert!(
+            report.cycles >= (ntx as u64 - 1) * spacing,
+            "makespan {} must cover the last arrival",
+            report.cycles
+        );
+        let stats = sys.serve_stats().unwrap();
+        for st in &stats {
+            assert_eq!(st.completed as usize, ntx);
+            assert!(
+                st.latency.max() < spacing,
+                "an unloaded server must not queue: p_max {}",
+                st.latency.max()
+            );
+        }
+    }
+
+    #[test]
+    fn serve_deadline_sheds_overloaded_requests() {
+        // Everything arrives at cycle 0 with a 1-cycle deadline: the
+        // first request per core is admitted instantly, the backlog is
+        // shed, and the journal only holds the served transactions.
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        let ntx = sys.traces[0].transactions() as usize;
+        let mut sc = ServeConfig::new(vec![vec![0; ntx]; 2]);
+        sc.max_wait = 1;
+        sc.tc_high = f64::INFINITY;
+        sc.nvm_write_high = f64::INFINITY;
+        sys.enable_serve(sc).unwrap();
+        let report = sys.run().unwrap();
+        let stats = sys.serve_stats().unwrap();
+        let mut served = 0u64;
+        for st in &stats {
+            assert_eq!(st.completed + st.shed, ntx as u64, "every request accounted");
+            assert!(st.shed > 0, "a 1-cycle deadline must shed the backlog");
+            served += st.completed;
+        }
+        assert_eq!(report.total_committed(), served);
+        assert_eq!(sys.journal().len() as u64, served);
+    }
+
+    #[test]
+    fn enable_serve_validates_arrival_shapes() {
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let mut sys = System::new(cfg.clone(), traces.clone(), &[], &RunConfig::default())
+            .unwrap();
+        assert!(sys.enable_serve(ServeConfig::new(vec![vec![0; 3]])).is_err(), "core count");
+        let mut sys = System::new(cfg.clone(), traces.clone(), &[], &RunConfig::default())
+            .unwrap();
+        assert!(
+            sys.enable_serve(ServeConfig::new(vec![vec![0; 3]; 2])).is_err(),
+            "arrival count must match trace transactions"
+        );
+        let mut sys = System::new(cfg, traces, &[], &RunConfig::default()).unwrap();
+        let ntx = sys.traces[0].transactions() as usize;
+        let mut decreasing = vec![10; ntx];
+        decreasing[ntx - 1] = 5;
+        assert!(
+            sys.enable_serve(ServeConfig::new(vec![decreasing.clone(), decreasing]))
+                .is_err(),
+            "arrivals must be non-decreasing"
+        );
+    }
+
+    #[test]
+    fn series_tail_is_flushed_to_the_final_cycle() {
+        // The last sample must land within one period of the final cycle:
+        // the drain tail after the last processed event is part of the
+        // series, not silently truncated.
+        let cfg = tiny_machine(SchemeKind::TxCache);
+        let traces = vec![simple_trace(); cfg.cores];
+        let rc = RunConfig {
+            sample_period: 64,
+            ..RunConfig::default()
+        };
+        let mut sys = System::new(cfg, traces, &[], &rc).unwrap();
+        let report = sys.run().unwrap();
+        let last = report.series.samples.last().expect("series sampled").0;
+        assert!(
+            last + 64 > report.cycles,
+            "last sample {last} ends more than one period before {}",
+            report.cycles
+        );
+        // Invariants preserved: strictly increasing multiples of the period.
+        for w in report.series.samples.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(report.series.samples.iter().all(|(t, _)| t % 64 == 0));
     }
 }

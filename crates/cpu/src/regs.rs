@@ -64,6 +64,26 @@ impl TxRegs {
         id
     }
 
+    /// Consumes the next transaction serial *without* entering
+    /// transaction mode, returning the skipped id.
+    ///
+    /// Used by the open-system service driver when admission control
+    /// sheds a request: the request's transaction never executes, but its
+    /// serial must still be burned so later transactions keep the serial
+    /// the trace (and the recovery oracle's per-serial write table)
+    /// assigned them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is in transaction mode (requests are shed at
+    /// their `TX_BEGIN`, never mid-transaction).
+    pub fn skip(&mut self) -> TxId {
+        assert!(self.mode.is_none(), "skip inside a transaction");
+        let id = self.next;
+        self.next = id.next();
+        id
+    }
+
     /// Executes `TX_END`: leaves transaction mode and returns the id of
     /// the transaction that just committed.
     ///
@@ -87,6 +107,16 @@ mod tests {
         let b = r.begin();
         assert_eq!(a, TxId::new(3, 0));
         assert_eq!(b, TxId::new(3, 1));
+    }
+
+    #[test]
+    fn skip_burns_a_serial_without_entering_tx_mode() {
+        let mut r = TxRegs::new(1);
+        let skipped = r.skip();
+        assert_eq!(skipped, TxId::new(1, 0));
+        assert!(!r.in_tx());
+        let next = r.begin();
+        assert_eq!(next, TxId::new(1, 1), "serials stay trace-aligned");
     }
 
     #[test]

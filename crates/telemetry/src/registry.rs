@@ -76,6 +76,54 @@ impl Log2Histogram {
         }
     }
 
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The approximate `q`-quantile (`0.0 < q <= 1.0`) of the recorded
+    /// samples, or 0 when empty.
+    ///
+    /// The rank is resolved to its power-of-two bucket exactly; within
+    /// the bucket the value is linearly interpolated over the bucket's
+    /// range, then clamped to the recorded maximum. The result is
+    /// deterministic (integer bucket walk plus one IEEE-754
+    /// interpolation), so reports quoting percentiles stay byte-identical
+    /// across runs and worker counts.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                // Bucket `i` holds values with bit length `i`:
+                // bucket 0 is exactly {0}, bucket i >= 1 spans
+                // [2^(i-1), 2^i - 1].
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                let frac = (target - cum) as f64 / n as f64;
+                let v = lo.saturating_add(((hi - lo) as f64 * frac) as u64);
+                return v.min(self.max);
+            }
+            cum += n;
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(bit_length, count)` pairs, ascending.
     #[must_use]
     pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
@@ -277,6 +325,51 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.sum(), u64::MAX, "sum saturates");
         assert_eq!(h.nonzero_buckets(), vec![(64, 2)]);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.percentile(0.99), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // The bucket walk is exact; within-bucket interpolation keeps the
+        // estimate inside the true value's power-of-two range.
+        let p50 = h.percentile(0.50);
+        assert!((32..=63).contains(&p50), "p50 of 1..=100 in bucket 6: {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((64..=100).contains(&p99), "p99 clamped to max: {p99}");
+        assert_eq!(h.percentile(1.0), 100, "p100 is the recorded max");
+        // Monotone in q.
+        assert!(h.percentile(0.1) <= h.percentile(0.5));
+        assert!(h.percentile(0.5) <= h.percentile(0.999));
+        // A single-value histogram answers that value at any quantile.
+        let mut one = Log2Histogram::new();
+        one.record(7);
+        assert_eq!(one.percentile(0.5), 7);
+        assert_eq!(one.percentile(0.999), 7);
+        // Extremes stay in range.
+        let mut big = Log2Histogram::new();
+        big.record(u64::MAX);
+        assert_eq!(big.percentile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_extremes() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 306);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.percentile(1.0), 200);
     }
 
     #[test]

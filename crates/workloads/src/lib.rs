@@ -32,6 +32,7 @@ mod btree;
 mod graph;
 mod hashtable;
 mod heap;
+mod ops;
 mod queue;
 mod rbtree;
 mod session;
@@ -43,6 +44,7 @@ pub use btree::BPlusTree;
 pub use graph::AdjacencyGraph;
 pub use hashtable::HashTable;
 pub use heap::Heap;
+pub use ops::{build_service, operation_starts, ServiceWorkload};
 pub use queue::PersistentQueue;
 pub use rbtree::RbTree;
 pub use session::MemSession;

@@ -1,0 +1,141 @@
+//! Operation-level (request) view of a workload trace.
+//!
+//! The closed-loop harness treats a workload trace as one monolithic
+//! instruction stream. The open-system service benchmark instead treats
+//! each *operation* — one transaction of the underlying data structure
+//! (an insert, a search, a swap) — as an independently arriving request.
+//! This module exposes the boundaries: [`operation_starts`] locates each
+//! transaction's `TX_BEGIN` in a trace, and [`build_service`] packages a
+//! built workload together with its request units so a service driver
+//! can assign per-request arrival times and reason about service demand
+//! before any simulation runs.
+//!
+//! Unit `k` spans from its `TX_BEGIN` up to (but excluding) unit
+//! `k + 1`'s `TX_BEGIN`; trailing non-transactional ops (computes,
+//! post-commit bookkeeping) are attributed to the request they follow.
+
+use pmacc_cpu::{Op, Trace};
+
+use crate::suite::{build, WorkloadKind, WorkloadParams, WorkloadTrace};
+
+/// Indices of each transaction's `TX_BEGIN` op — the request boundaries
+/// used by the open-system service driver.
+#[must_use]
+pub fn operation_starts(trace: &Trace) -> Vec<usize> {
+    trace
+        .ops()
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, Op::TxBegin))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// A built workload broken into operation-level request units.
+///
+/// # Example
+///
+/// ```
+/// use pmacc_workloads::{build_service, WorkloadKind, WorkloadParams};
+///
+/// let s = build_service(WorkloadKind::Hashtable, &WorkloadParams::tiny(7));
+/// assert_eq!(s.request_count(), WorkloadParams::tiny(7).num_ops);
+/// assert!(s.mean_ops_per_request() >= 3.0, "begin + work + end");
+/// ```
+#[derive(Debug)]
+pub struct ServiceWorkload {
+    /// The underlying monolithic workload (trace + memory images).
+    pub workload: WorkloadTrace,
+    /// Index of each request's `TX_BEGIN` in the raw trace.
+    pub starts: Vec<usize>,
+}
+
+impl ServiceWorkload {
+    /// Number of request units (one per transaction).
+    #[must_use]
+    pub fn request_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Trace ops in request unit `k` (from its `TX_BEGIN` to the next
+    /// unit's, or the end of the trace for the last unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn ops_in_request(&self, k: usize) -> usize {
+        let end = self
+            .starts
+            .get(k + 1)
+            .copied()
+            .unwrap_or_else(|| self.workload.trace.len());
+        end - self.starts[k]
+    }
+
+    /// Mean ops per request unit — the service-demand proxy the rate
+    /// ladder of a serve campaign is scaled against.
+    #[must_use]
+    pub fn mean_ops_per_request(&self) -> f64 {
+        if self.starts.is_empty() {
+            return 0.0;
+        }
+        let total = self.workload.trace.len() - self.starts[0];
+        total as f64 / self.starts.len() as f64
+    }
+}
+
+/// Builds a workload and its operation-level request boundaries.
+#[must_use]
+pub fn build_service(kind: WorkloadKind, params: &WorkloadParams) -> ServiceWorkload {
+    let workload = build(kind, params);
+    let starts = operation_starts(&workload.trace);
+    ServiceWorkload { workload, starts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_tile_the_transactional_region() {
+        for kind in WorkloadKind::all() {
+            let s = build_service(kind, &WorkloadParams::tiny(3));
+            assert_eq!(
+                s.request_count() as u64,
+                s.workload.trace.transactions(),
+                "{kind}: one unit per transaction"
+            );
+            let total: usize = (0..s.request_count()).map(|k| s.ops_in_request(k)).sum();
+            assert_eq!(
+                total,
+                s.workload.trace.len() - s.starts[0],
+                "{kind}: units cover the trace from the first TX_BEGIN"
+            );
+            // Each unit holds exactly one TX_BEGIN/TX_END pair.
+            let ops = s.workload.trace.ops();
+            for k in 0..s.request_count() {
+                let end = s.starts.get(k + 1).copied().unwrap_or(ops.len());
+                let unit = &ops[s.starts[k]..end];
+                assert_eq!(
+                    unit.iter().filter(|op| matches!(op, Op::TxBegin)).count(),
+                    1,
+                    "{kind}: unit {k}"
+                );
+                assert_eq!(
+                    unit.iter().filter(|op| matches!(op, Op::TxEnd)).count(),
+                    1,
+                    "{kind}: unit {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starts_match_num_ops() {
+        let params = WorkloadParams::tiny(11);
+        let s = build_service(WorkloadKind::Btree, &params);
+        assert_eq!(s.request_count(), params.num_ops);
+        assert!(s.mean_ops_per_request() > 0.0);
+    }
+}

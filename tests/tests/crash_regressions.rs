@@ -27,13 +27,13 @@ use pmacc_telemetry::Json;
 const MUTATION_REPRODUCERS: &[&str] = &[
     // drop-committed-tc: recovery loses each core's newest committed
     // transaction-cache entry.
-    r#"{"name": "tc-sps-c1-s42-cy321", "scheme": "tc", "workload": "sps", "cores": 1, "tc_entries": null, "num_ops": 1, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 321, "mutation": "drop-committed-tc"}"#,
-    r#"{"name": "tc-rbtree-c1-s42-cy3890", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 3890, "mutation": "drop-committed-tc"}"#,
+    r#"{"name": "tc-sps-c1-s42-cy161", "scheme": "tc", "workload": "sps", "cores": 1, "tc_entries": null, "num_ops": 1, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 161, "mutation": "drop-committed-tc"}"#,
+    r#"{"name": "tc-rbtree-c1-s42-cy2692", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": null, "num_ops": 3, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 2692, "mutation": "drop-committed-tc"}"#,
     // Same defect in the COW-overflow cell (4-entry transaction cache).
-    r#"{"name": "tc-rbtree-c1-tc4-s42-cy4102", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": 4, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 4102, "mutation": "drop-committed-tc"}"#,
+    r#"{"name": "tc-rbtree-c1-tc4-s42-cy2692", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": 4, "num_ops": 3, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 2692, "mutation": "drop-committed-tc"}"#,
     // skip-cow-replay: recovery never applies committed COW shadows.
-    r#"{"name": "tc-rbtree-c1-s42-cy5788", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 5788, "mutation": "skip-cow-replay"}"#,
-    r#"{"name": "tc-rbtree-c1-tc4-s42-cy3992", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": 4, "num_ops": 6, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 3992, "mutation": "skip-cow-replay"}"#,
+    r#"{"name": "tc-rbtree-c1-s42-cy4622", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 4622, "mutation": "skip-cow-replay"}"#,
+    r#"{"name": "tc-rbtree-c1-tc4-s42-cy4338", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": 4, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 4338, "mutation": "skip-cow-replay"}"#,
 ];
 
 fn parse(raw: &str) -> Reproducer {

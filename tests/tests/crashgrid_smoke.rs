@@ -91,6 +91,35 @@ fn quick_campaign_is_dense_and_consistent_across_all_schemes() {
 }
 
 #[test]
+fn crash_snapshots_land_exactly_on_the_requested_cycle() {
+    // The campaign's boundary-clustered schedules are only as sharp as
+    // the injection point: a snapshot taken even a few cycles past the
+    // requested point can skip the vulnerable window entirely. The
+    // simulator must stamp `crash_state().cycle` with the requested
+    // cycle itself, not the next event after it.
+    use pmacc::{RunConfig, System};
+    use pmacc_types::MachineConfig;
+    use pmacc_workloads::WorkloadParams;
+
+    let machine = MachineConfig::small().with_scheme(SchemeKind::TxCache);
+    let mut sys = System::for_workload(
+        machine,
+        WorkloadKind::Rbtree,
+        &WorkloadParams::tiny(42),
+        &RunConfig::default(),
+    )
+    .expect("system builds");
+    for point in [37u64, 161, 1_419, 2_692, 10_000] {
+        sys.run_until(point).expect("simulation advances");
+        assert_eq!(
+            sys.crash_state().cycle,
+            point,
+            "crash snapshot must land exactly on the requested cycle"
+        );
+    }
+}
+
+#[test]
 fn report_bytes_are_invariant_to_worker_count() {
     let mut cfg = CampaignConfig::quick(7);
     cfg.schemes = vec![SchemeKind::TxCache, SchemeKind::Sp];

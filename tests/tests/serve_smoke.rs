@@ -1,0 +1,120 @@
+//! End-to-end checks of the open-system service benchmark: the quick
+//! campaign must ramp every scheme into saturation, attribute latency
+//! tails, validate against its own schema, and emit byte-identical
+//! reports at any worker count.
+
+use pmacc_bench::pool::Options;
+use pmacc_bench::serve::{parse_report, run_serve, ArrivalKind, ServeCampaignConfig, SERVE_SCHEMA};
+use pmacc_telemetry::Json;
+use pmacc_types::SchemeKind;
+
+fn opts(jobs: usize) -> Options {
+    Options {
+        jobs,
+        progress: false,
+    }
+}
+
+/// A trimmed campaign (2 schemes, 2 rates) for the invariance check.
+fn small_cfg(seed: u64) -> ServeCampaignConfig {
+    let mut cfg = ServeCampaignConfig::quick(seed);
+    cfg.schemes = vec![SchemeKind::TxCache, SchemeKind::Sp];
+    cfg.load_fractions = vec![0.5, 1.3];
+    cfg
+}
+
+#[test]
+fn quick_campaign_saturates_every_scheme() {
+    let cfg = ServeCampaignConfig::quick(42);
+    let report = run_serve(&cfg, &opts(4)).expect("campaign runs");
+
+    assert_eq!(report.curves.len(), SchemeKind::all().len());
+    assert!(report.mean_ops_per_request >= 3.0, "begin + work + end");
+    for curve in &report.curves {
+        assert!(
+            curve.closed_loop_rate > 0.0,
+            "{}: calibration found no capacity",
+            curve.scheme
+        );
+        assert_eq!(curve.points.len(), cfg.load_fractions.len());
+        // Offered rates follow the configured ladder.
+        for (p, frac) in curve.points.iter().zip(&cfg.load_fractions) {
+            assert!(
+                (p.offered - frac * curve.closed_loop_rate).abs() < 1e-9,
+                "{}: ladder rung mismatch",
+                curve.scheme
+            );
+            assert_eq!(
+                p.latency.count(),
+                p.completed,
+                "{}: one latency sample per completed request",
+                curve.scheme
+            );
+        }
+        // Light load is sustained; the overload rung is not: it must
+        // shed or miss the goodput bar, so the ceiling sits inside the
+        // ladder rather than at its top.
+        assert!(curve.points[0].sustained(), "{}", curve.scheme);
+        assert!(
+            !curve.points.last().unwrap().sustained(),
+            "{}: 1.3x closed-loop rate cannot be sustained",
+            curve.scheme
+        );
+        let ceiling = curve.ceiling();
+        assert!(
+            ceiling > 0.0 && ceiling < curve.points.last().unwrap().offered,
+            "{}: ceiling {ceiling} must fall inside the ladder",
+            curve.scheme
+        );
+        // Latency grows with load: p99 at the overload rung dominates
+        // the light-load rung.
+        let light = curve.points[0].latency.percentile(0.99);
+        let heavy = curve.points.last().unwrap().latency.percentile(0.99);
+        assert!(
+            heavy > light,
+            "{}: overload p99 {heavy} <= light-load p99 {light}",
+            curve.scheme
+        );
+    }
+
+    // The document round-trips through the schema validator.
+    let doc = Json::parse(&report.to_json().to_pretty()).expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SERVE_SCHEMA));
+    let summary = parse_report(&doc).expect("report validates");
+    assert_eq!(summary.schemes, report.curves.len());
+    assert_eq!(summary.total_completed, report.total_completed());
+    assert_eq!(summary.total_shed, report.total_shed());
+    assert!(summary.total_shed > 0, "overload rungs must shed");
+}
+
+#[test]
+fn serve_report_bytes_are_invariant_to_worker_count() {
+    let serial = run_serve(&small_cfg(7), &opts(1)).expect("jobs=1 runs");
+    let fanned = run_serve(&small_cfg(7), &opts(4)).expect("jobs=4 runs");
+    assert_eq!(
+        serial.to_json().to_pretty(),
+        fanned.to_json().to_pretty(),
+        "report must be byte-identical at --jobs 1 vs --jobs 4"
+    );
+}
+
+#[test]
+fn arrival_processes_produce_distinct_but_deterministic_campaigns() {
+    let mut renders = Vec::new();
+    for kind in ArrivalKind::all() {
+        let mut cfg = small_cfg(11);
+        cfg.arrival = kind;
+        cfg.schemes = vec![SchemeKind::TxCache];
+        cfg.load_fractions = vec![0.7];
+        let a = run_serve(&cfg, &opts(2)).expect("campaign runs");
+        let b = run_serve(&cfg, &opts(3)).expect("campaign reruns");
+        assert_eq!(
+            a.to_json().to_pretty(),
+            b.to_json().to_pretty(),
+            "{kind}: campaign must be reproducible"
+        );
+        renders.push(a.to_json().to_pretty());
+    }
+    assert_ne!(renders[0], renders[1], "poisson vs bursty must differ");
+    assert_ne!(renders[0], renders[2], "poisson vs diurnal must differ");
+}

@@ -91,14 +91,17 @@ fn functional_state_matches_workload_ground_truth() {
     // After a TC run quiesces, the NVM image must hold the workload's
     // final persistent values (striped to core slices).
     let params = WorkloadParams::tiny(8);
-    let w = build(WorkloadKind::Hashtable, &params);
     let cfg = machine(SchemeKind::TxCache);
     let mut sys = System::for_workload(cfg, WorkloadKind::Hashtable, &params, &RunConfig::default())
         .unwrap();
     sys.run().unwrap();
     let state = sys.crash_state();
     let recovered = pmacc::recovery::recover(&state);
-    // Core 0 uses seed `params.seed`, unstrided addresses.
+    // Core 0 runs its own derived stream of the base seed, unstrided
+    // addresses — rebuild the same stream for the ground-truth image.
+    let mut p0 = params;
+    p0.seed = pmacc_types::rng::stream_seed(params.seed, 0);
+    let w = build(WorkloadKind::Hashtable, &p0);
     for (word, value) in w.final_image.iter() {
         if word.is_persistent() {
             assert_eq!(
