@@ -104,4 +104,31 @@ else
     rm -f "$serve_one" "$serve_four"
 fi
 
+# Sharing-sweep gate: the quick-scale cross-core sharing experiment
+# (workload × sharing-fraction × scheme, MESI coherence traffic and
+# conflict counters) must emit a byte-identical JSON report at --jobs 1
+# and --jobs 4, and that report must match the checked-in
+# baselines/sharing-quick.json bit for bit — which also pins the
+# coherence layer inert at fraction 0 (those rows reproduce the private
+# per-scheme numbers exactly). A PR that changes coherence or timing on
+# purpose regenerates the baseline (`reproduce --quick sharing --json
+# baselines/sharing-quick.json`, commit the result) — or sets
+# PMACC_SKIP_SHARING=1 while iterating.
+if [[ "${PMACC_SKIP_SHARING:-0}" == "1" ]]; then
+    echo "==> sharing skipped (PMACC_SKIP_SHARING=1)"
+else
+    echo "==> reproduce --quick sharing (coherence sweep, jobs 1 vs 4)"
+    sharing_one="$(mktemp)"
+    sharing_four="$(mktemp)"
+    PMACC_JOBS=1 cargo run --release --offline -q -p pmacc-bench --bin reproduce -- \
+        --quick sharing --json "$sharing_one" > /dev/null
+    PMACC_JOBS=4 cargo run --release --offline -q -p pmacc-bench --bin reproduce -- \
+        --quick sharing --json "$sharing_four" > /dev/null
+    cmp "$sharing_one" "$sharing_four" \
+        || { echo "sharing report differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+    cmp "$sharing_four" baselines/sharing-quick.json \
+        || { echo "sharing report drifted from baselines/sharing-quick.json" >&2; exit 1; }
+    rm -f "$sharing_one" "$sharing_four"
+fi
+
 echo "==> ci.sh: all green"

@@ -22,7 +22,7 @@ fn bench_txcache(c: &mut Harness) {
                 tc.insert(tx, Addr::nvm_base().offset(i * 64).word(), i)
                     .expect("room");
             }
-            tc.commit(tx);
+            tc.commit(tx, 1);
             while let Some((slot, _)) = tc.next_issue() {
                 tc.mark_issued(slot);
                 tc.ack_slot(slot);

@@ -28,7 +28,7 @@ fn high_occupancy_tc() -> (TxCache, Vec<LineAddr>) {
         tc.insert(tx, w, i).expect("room");
         lines.push(w.line());
     }
-    tc.commit(tx);
+    tc.commit(tx, 1);
     (tc, lines)
 }
 
@@ -66,7 +66,7 @@ fn bench_txcache_hot(c: &mut Harness) {
             tc.insert(backlog, Addr::nvm_base().offset(i * 64).word(), i)
                 .expect("room");
         }
-        tc.commit(backlog);
+        tc.commit(backlog, 1);
         let tx = TxId::new(0, 2);
         let w = Addr::nvm_base().offset(60 * 64).word();
         tc.insert(tx, w, 0).expect("room");

@@ -43,7 +43,7 @@ const GRID_EXPERIMENTS: [&str; 9] = [
     "energy",
     "endurance",
 ];
-const ALL_EXPERIMENTS: [&str; 20] = [
+const ALL_EXPERIMENTS: [&str; 21] = [
     "table2",
     "table3",
     "table1",
@@ -59,6 +59,7 @@ const ALL_EXPERIMENTS: [&str; 20] = [
     "recovery",
     "mix",
     "warm",
+    "sharing",
     "ablation-size",
     "ablation-overflow",
     "ablation-nvm",
@@ -190,6 +191,7 @@ fn main() -> ExitCode {
             "recovery" => figures::recovery_table(scale, seed, &opts),
             "mix" => figures::mix(scale, seed, &opts),
             "warm" => figures::warm(scale, seed, &opts),
+            "sharing" => figures::sharing(scale, seed, &opts),
             "ablation-size" => figures::ablation_txcache_size(scale, seed, &opts),
             "ablation-overflow" => figures::ablation_overflow(scale, seed, &opts),
             "ablation-nvm" => figures::ablation_nvm_latency(scale, seed, &opts),

@@ -174,6 +174,11 @@ pub struct CellSpec {
     /// Override the transaction-cache entry count (`None` keeps the
     /// small-machine default; `Some(4)` is the overflow-pressure cell).
     pub tc_entries: Option<u64>,
+    /// Sharing fraction in eighths (see `WorkloadParams::sharing`):
+    /// nonzero makes the cores contend for shared-pool lines, so crashes
+    /// land inside cross-core conflict windows and the recovery oracle
+    /// must merge all cores' committed state in global commit order.
+    pub sharing: u8,
 }
 
 impl CellSpec {
@@ -190,19 +195,27 @@ impl CellSpec {
 
     /// Whether the oracle demands consistency. `Optimal` has no
     /// persistence support, so its violations are *expected* — the cell
-    /// runs as a control proving the checker has teeth.
+    /// runs as a control proving the checker has teeth. `SP` under a
+    /// nonzero sharing fraction is likewise a control: its per-core redo
+    /// logs carry no cross-log commit order, so recovery of contended
+    /// lines is not defined for it.
     #[must_use]
     pub fn expect_consistent(&self) -> bool {
         self.scheme != SchemeKind::Optimal
+            && !(self.scheme == SchemeKind::Sp && self.sharing > 0)
     }
 
-    /// Stable label: `workload/scheme/cN[/tcE]`.
+    /// Stable label: `workload/scheme/cN[/tcE][/shS]`.
     #[must_use]
     pub fn label(&self) -> String {
-        match self.tc_entries {
-            Some(e) => format!("{}/{}/c{}/tc{e}", self.workload, self.scheme, self.cores),
-            None => format!("{}/{}/c{}", self.workload, self.scheme, self.cores),
+        let mut s = format!("{}/{}/c{}", self.workload, self.scheme, self.cores);
+        if let Some(e) = self.tc_entries {
+            s.push_str(&format!("/tc{e}"));
         }
+        if self.sharing > 0 {
+            s.push_str(&format!("/sh{}", self.sharing));
+        }
+        s
     }
 }
 
@@ -225,6 +238,10 @@ pub struct CampaignConfig {
     /// Add the tiny-TC overflow cell (TxCache × rbtree) when those axes
     /// are enabled.
     pub overflow_cell: bool,
+    /// Add the cross-core conflict cells: TxCache/NVLLC × {sps,
+    /// hashtable} × sharing {2, 4} eighths on two cores, plus one
+    /// Optimal control at the highest fraction.
+    pub sharing_cells: bool,
     /// Deliberate recovery defect (mutation testing); [`Mutation::None`]
     /// in CI.
     pub mutation: Mutation,
@@ -256,6 +273,7 @@ impl CampaignConfig {
             core_counts: vec![1, 2],
             params: WorkloadParams::tiny(seed),
             overflow_cell: true,
+            sharing_cells: true,
             mutation: Mutation::None,
             min_points: 360,
             stratified: 256,
@@ -266,7 +284,8 @@ impl CampaignConfig {
     }
 
     /// The cell list, in deterministic sweep order (workload-major, then
-    /// scheme, then core count, with the overflow cell appended last).
+    /// scheme, then core count, with the overflow cell and the sharing
+    /// cells appended last).
     #[must_use]
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
@@ -278,6 +297,7 @@ impl CampaignConfig {
                         scheme,
                         cores,
                         tc_entries: None,
+                        sharing: 0,
                     });
                 }
             }
@@ -291,7 +311,40 @@ impl CampaignConfig {
                 scheme: SchemeKind::TxCache,
                 cores: self.core_counts.first().copied().unwrap_or(1),
                 tc_entries: Some(OVERFLOW_TC_ENTRIES),
+                sharing: 0,
             });
+        }
+        if self.sharing_cells {
+            for &workload in &[WorkloadKind::Sps, WorkloadKind::Hashtable] {
+                if !self.workloads.contains(&workload) {
+                    continue;
+                }
+                for &scheme in &[SchemeKind::TxCache, SchemeKind::NvLlc] {
+                    if !self.schemes.contains(&scheme) {
+                        continue;
+                    }
+                    for sharing in [2, 4] {
+                        out.push(CellSpec {
+                            workload,
+                            scheme,
+                            cores: 2,
+                            tc_entries: None,
+                            sharing,
+                        });
+                    }
+                }
+            }
+            if self.schemes.contains(&SchemeKind::Optimal)
+                && self.workloads.contains(&WorkloadKind::Sps)
+            {
+                out.push(CellSpec {
+                    workload: WorkloadKind::Sps,
+                    scheme: SchemeKind::Optimal,
+                    cores: 2,
+                    tc_entries: None,
+                    sharing: 4,
+                });
+            }
         }
         out
     }
@@ -410,7 +463,7 @@ impl Reproducer {
     /// Renders the reproducer as a self-contained JSON object.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("name", self.name.to_json()),
             ("scheme", self.scheme.to_string().to_json()),
             ("workload", self.workload.to_string().to_json()),
@@ -421,9 +474,15 @@ impl Reproducer {
             ("key_space", self.params.key_space.to_json()),
             ("insert_ratio", self.params.insert_ratio.to_json()),
             ("seed", self.params.seed.to_json()),
-            ("crash_cycle", self.crash_cycle.to_json()),
-            ("mutation", self.mutation.to_string().to_json()),
-        ])
+        ];
+        // Omitted when zero so reproducers pinned before the sharing knob
+        // existed still round-trip byte for byte.
+        if self.params.sharing > 0 {
+            fields.push(("sharing", u64::from(self.params.sharing).to_json()));
+        }
+        fields.push(("crash_cycle", self.crash_cycle.to_json()));
+        fields.push(("mutation", self.mutation.to_string().to_json()));
+        Json::obj(fields)
     }
 
     /// Parses a reproducer previously rendered by [`Reproducer::to_json`]
@@ -468,6 +527,15 @@ impl Reproducer {
                 key_space: int(doc, "key_space")?,
                 insert_ratio: int(doc, "insert_ratio")? as u32,
                 seed: int(doc, "seed")?,
+                // Absent in reproducers pinned before the sharing knob
+                // existed: those cells ran fully private.
+                sharing: match doc.get("sharing") {
+                    None => 0,
+                    Some(Json::Int(i)) if (0..=8).contains(i) => *i as u8,
+                    Some(other) => {
+                        return Err(format!("field `sharing` is not 0..=8: {other}"))
+                    }
+                },
             },
             crash_cycle: int(doc, "crash_cycle")?,
             mutation: string(doc, "mutation")?.parse()?,
@@ -487,6 +555,7 @@ impl Reproducer {
             scheme: self.scheme,
             cores: self.cores,
             tc_entries: self.tc_entries,
+            sharing: self.params.sharing,
         };
         let mut sys = build_system(&spec, &self.params, false).map_err(|e| e.to_string())?;
         sys.run_until(self.crash_cycle).map_err(|e| e.to_string())?;
@@ -674,7 +743,9 @@ fn build_system(
         record_boundaries: learn,
         ..RunConfig::default()
     };
-    System::for_workload(spec.machine(), spec.workload, params, &rc)
+    let mut params = *params;
+    params.sharing = spec.sharing;
+    System::for_workload(spec.machine(), spec.workload, &params, &rc)
 }
 
 /// Crash-checks `sys` right now: snapshot, mutate, recover, compare.
@@ -868,6 +939,7 @@ fn minimize(
     last_good: Cycle,
 ) -> Result<Reproducer, String> {
     let mut params = cfg.params;
+    params.sharing = spec.sharing;
     let mut cycle = earliest_failing_cycle(spec, &params, cfg.mutation, last_good, first_fail)?;
     while params.num_ops > 1 {
         let mut reduced = params;
@@ -880,10 +952,13 @@ fn minimize(
             None => break,
         }
     }
-    let variant = spec
+    let mut variant = spec
         .tc_entries
         .map(|e| format!("-tc{e}"))
         .unwrap_or_default();
+    if spec.sharing > 0 {
+        variant.push_str(&format!("-sh{}", spec.sharing));
+    }
     Ok(Reproducer {
         name: format!(
             "{}-{}-c{}{}-s{}-cy{}",
@@ -1015,22 +1090,49 @@ mod tests {
     }
 
     #[test]
-    fn cell_list_is_the_cross_product_plus_overflow() {
+    fn cell_list_is_the_cross_product_plus_overflow_and_sharing() {
         let cfg = CampaignConfig::quick(1);
         let cells = cfg.cells();
+        // Cross product, the overflow cell, 2 workloads × 2 schemes × 2
+        // fractions of sharing cells, and the Optimal sharing control.
         assert_eq!(
             cells.len(),
-            SchemeKind::all().len() * WorkloadKind::all().len() * 2 + 1
+            SchemeKind::all().len() * WorkloadKind::all().len() * 2 + 1 + 8 + 1
         );
-        let overflow = cells.last().unwrap();
+        let overflow = &cells[SchemeKind::all().len() * WorkloadKind::all().len() * 2];
         assert_eq!(overflow.tc_entries, Some(OVERFLOW_TC_ENTRIES));
         assert_eq!(overflow.scheme, SchemeKind::TxCache);
+        let sharing: Vec<&CellSpec> = cells.iter().filter(|c| c.sharing > 0).collect();
+        assert_eq!(sharing.len(), 9);
+        assert!(sharing.iter().all(|c| c.cores == 2));
+        assert_eq!(sharing.last().unwrap().scheme, SchemeKind::Optimal);
         assert!(!CellSpec {
             workload: WorkloadKind::Sps,
             scheme: SchemeKind::Optimal,
             cores: 1,
             tc_entries: None,
+            sharing: 0,
         }
         .expect_consistent());
+        // SP under sharing is a control too: no cross-log commit order.
+        assert!(!CellSpec {
+            workload: WorkloadKind::Sps,
+            scheme: SchemeKind::Sp,
+            cores: 2,
+            tc_entries: None,
+            sharing: 2,
+        }
+        .expect_consistent());
+        assert_eq!(
+            CellSpec {
+                workload: WorkloadKind::Sps,
+                scheme: SchemeKind::TxCache,
+                cores: 2,
+                tc_entries: Some(4),
+                sharing: 2,
+            }
+            .label(),
+            "sps/tc/c2/tc4/sh2"
+        );
     }
 }

@@ -369,6 +369,131 @@ pub fn mix(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError
     Ok(t)
 }
 
+/// Extension: sharing sweep — per-scheme scaling curves as a growing
+/// fraction of each core's persistent-heap lines is drawn from a pool
+/// shared by every core (0, 12.5, 25, 50%), on the conflict-sensitive
+/// workloads. The 0% column must reproduce the private-working-set
+/// numbers exactly: the MESI layer is inert until cores actually share
+/// lines. The conflict columns count transactional stores serialized
+/// against a remote core's active transaction, snoop invalidations of
+/// remote cached copies, and remote invalidations that hit a buffered
+/// transaction-cache line (the §4 decoupling: the TC entry survives).
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn sharing(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
+    const FRACTIONS: [u8; 4] = [0, 1, 2, 4];
+    const KINDS: [WorkloadKind; 3] = [
+        WorkloadKind::Sps,
+        WorkloadKind::Btree,
+        WorkloadKind::Hashtable,
+    ];
+    let fraction_label = |f: u8| match f {
+        0 => "0%",
+        1 => "12.5%",
+        2 => "25%",
+        4 => "50%",
+        _ => unreachable!("fractions are fixed above"),
+    };
+    let mut keys = Vec::new();
+    for kind in KINDS {
+        for fraction in FRACTIONS {
+            for scheme in SchemeKind::all() {
+                keys.push((kind, fraction, scheme));
+            }
+        }
+    }
+    let jobs: Vec<Job<Result<RunReport, SimError>>> = keys
+        .iter()
+        .map(|&(kind, fraction, scheme)| {
+            let machine = scale.machine().with_scheme(scheme);
+            let mut params = scale.params(seed);
+            params.sharing = fraction;
+            Job::new(format!("sharing/{kind}/sh{fraction}/{scheme}"), move || {
+                System::for_workload(machine, kind, &params, &RunConfig::default())?.run()
+            })
+        })
+        .collect();
+    let reports = pool::run_jobs(jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("cell {} (seed {seed}) panicked: {}", p.label, p.message));
+    let mut results = std::collections::BTreeMap::new();
+    for (key, report) in keys.iter().zip(reports) {
+        results.insert(*key, report?);
+    }
+    let mut t = FigTable::new(
+        "Extension: sharing",
+        "Scaling across shared-line fractions (4 cores)",
+        "IPC normalized to Optimal on the same workload and fraction; \
+         conflict columns are raw event counts summed over cores.",
+        vec![
+            "workload".into(),
+            "sharing".into(),
+            "scheme".into(),
+            "IPC (norm)".into(),
+            "tx conflicts".into(),
+            "conflict stall".into(),
+            "snoop invals".into(),
+            "shared fills".into(),
+            "TC remote invals".into(),
+        ],
+    );
+    let conflicts = |r: &RunReport| -> u64 {
+        r.cores.iter().map(|c| c.tx_conflicts.value()).sum()
+    };
+    let tc_remote = |r: &RunReport| -> u64 {
+        r.tc.iter().map(|c| c.remote_invalidations.value()).sum()
+    };
+    for kind in KINDS {
+        for fraction in FRACTIONS {
+            let base = &results[&(kind, fraction, SchemeKind::Optimal)];
+            for scheme in SchemeKind::all() {
+                let r = &results[&(kind, fraction, scheme)];
+                t.push_row(vec![
+                    kind.to_string(),
+                    fraction_label(fraction).into(),
+                    scheme_label(scheme).into(),
+                    norm(if base.ipc() == 0.0 { 0.0 } else { r.ipc() / base.ipc() }),
+                    conflicts(r).to_string(),
+                    format!("{:.4}%", r.stall_fraction(StallKind::Conflict) * 100.0),
+                    r.hierarchy.coherence.remote_invalidations.value().to_string(),
+                    r.hierarchy.coherence.shared_fills.value().to_string(),
+                    tc_remote(r).to_string(),
+                ]);
+            }
+        }
+    }
+    // Per-fraction means: the scaling curve of each scheme (counts are
+    // summed over the three workloads).
+    for fraction in FRACTIONS {
+        for scheme in SchemeKind::all() {
+            let mut ipc = 0.0;
+            let (mut cf, mut inv, mut fills, mut tcr) = (0u64, 0u64, 0u64, 0u64);
+            for kind in KINDS {
+                let base = &results[&(kind, fraction, SchemeKind::Optimal)];
+                let r = &results[&(kind, fraction, scheme)];
+                ipc += if base.ipc() == 0.0 { 0.0 } else { r.ipc() / base.ipc() };
+                cf += conflicts(r);
+                inv += r.hierarchy.coherence.remote_invalidations.value();
+                fills += r.hierarchy.coherence.shared_fills.value();
+                tcr += tc_remote(r);
+            }
+            t.push_row(vec![
+                "**mean**".into(),
+                fraction_label(fraction).into(),
+                scheme_label(scheme).into(),
+                norm(ipc / KINDS.len() as f64),
+                cf.to_string(),
+                "-".into(),
+                inv.to_string(),
+                fills.to_string(),
+                tcr.to_string(),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
 /// Extension: the grid measured after a cache warm-up (the first quarter
 /// of each run's transactions excluded from statistics). Contrast with
 /// the cold-start figures: warm LLC miss rates expose the NVLLC pinning

@@ -148,6 +148,7 @@ impl ServeCampaignConfig {
                 key_space: 8_000,
                 insert_ratio: 50,
                 seed,
+                sharing: 0,
             },
             load_fractions: vec![0.4, 0.7, 0.9, 1.3],
             tc_high: 0.75,

@@ -66,6 +66,27 @@ impl CacheArray {
         Some(self.sets[set].line(way))
     }
 
+    /// Mutable access to a line's metadata without touching LRU state
+    /// (coherence actions — snoops, downgrades — are not uses).
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
+        let set = self.set_of(line);
+        let tag = line.tag_bits(self.set_bits);
+        let way = self.sets[set].find(tag)?;
+        Some(self.sets[set].line_mut(way))
+    }
+
+    /// Sets a present line's coherence sharing bit without touching LRU
+    /// state. Returns whether the line was present.
+    pub fn set_shared(&mut self, line: LineAddr, shared: bool) -> bool {
+        match self.peek_mut(line) {
+            Some(l) => {
+                l.shared = shared;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Looks up a line, updating LRU recency on hit.
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut CacheLine> {
         self.clock += 1;
@@ -139,6 +160,7 @@ impl CacheArray {
             persistent,
             tx,
             pinned,
+            shared: false,
             last_use: clock,
             filled_at: clock,
         };

@@ -1,0 +1,183 @@
+//! MESI snooping-bus coherence over the private cache levels.
+//!
+//! The hierarchy keeps the paper's structure — private L1/L2 per core over
+//! one shared inclusive LLC — and layers a bus-snooping MESI protocol on
+//! top of the existing line metadata instead of adding new states:
+//!
+//! | MESI          | encoding (`CacheLine`)        |
+//! |---------------|-------------------------------|
+//! | **M**odified  | `state == Dirty`              |
+//! | **E**xclusive | `state == Clean && !shared`   |
+//! | **S**hared    | `state == Clean && shared`    |
+//! | **I**nvalid   | `state == Invalid`            |
+//!
+//! Three bus transactions exist, all initiated from [`Hierarchy::access`]:
+//!
+//! * **BusRd** — a read that misses the private levels snoops every remote
+//!   core ([`snoop_read`]). A remote Modified copy is downgraded to Shared
+//!   with its data intervened into the LLC; any remote copy forces the
+//!   requester to fill in Shared state.
+//! * **BusRdX** — a write that misses the private levels snoops and
+//!   *invalidates* every remote copy ([`snoop_invalidate`]), intervening
+//!   dirty data into the LLC first, then fills Modified.
+//! * **BusUpgr** — a write that hits a Shared private copy invalidates the
+//!   remote copies without refetching data, then dirties locally.
+//!
+//! Because private copies are inclusive in the LLC, a snoop never has to
+//! consult memory: a remote Modified line merges into the LLC copy that
+//! inclusion guarantees is present.
+//!
+//! Timing is deliberately *not* modeled per bus transaction: snoop latency
+//! is folded into the LLC access latency the requester already pays on the
+//! miss path, so coherence costs surface as extra misses (invalidated
+//! copies must be refetched) and as the system layer's cross-core conflict
+//! stalls — see DESIGN.md "Cache coherence".
+//!
+//! [`Hierarchy::access`]: crate::hierarchy::Hierarchy::access
+
+use pmacc_types::LineAddr;
+
+use crate::array::CacheArray;
+use crate::line::{CacheLine, LineState};
+use crate::stats::CoherenceStats;
+
+/// The four MESI states, derived from a line's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CohState {
+    /// Dirty and exclusively owned; must be written back or intervened.
+    Modified,
+    /// Clean and exclusively owned; may be dirtied without a bus transaction.
+    Exclusive,
+    /// Clean with possible remote copies; a write requires BusUpgr.
+    Shared,
+    /// Not present.
+    Invalid,
+}
+
+impl CohState {
+    /// Derives the MESI state from a line's validity/dirtiness and its
+    /// sharing bit.
+    #[must_use]
+    pub fn of(line: &CacheLine) -> Self {
+        match line.state {
+            LineState::Invalid => CohState::Invalid,
+            LineState::Dirty => CohState::Modified,
+            LineState::Clean if line.shared => CohState::Shared,
+            LineState::Clean => CohState::Exclusive,
+        }
+    }
+}
+
+/// BusRdX/BusUpgr: invalidates every remote private copy of `line`,
+/// intervening dirty data into the LLC (which holds the line by inclusion
+/// whenever a private copy exists).
+///
+/// Appends `(core, line)` to `invalidated` for each remote core that lost
+/// a copy, so the system layer can check those cores' transaction caches —
+/// a TC entry must survive its cache copy being invalidated (the P/V flag
+/// lives in the TC, not the cache).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn snoop_invalidate(
+    l1: &mut [CacheArray],
+    l2: &mut [CacheArray],
+    llc: &mut CacheArray,
+    stats: &mut CoherenceStats,
+    pin_uncommitted: bool,
+    requester: usize,
+    line: LineAddr,
+    upgrade: bool,
+    invalidated: &mut Vec<(usize, LineAddr)>,
+) {
+    if upgrade {
+        stats.bus_upgrades.inc();
+    }
+    for core in 0..l1.len() {
+        if core == requester {
+            continue;
+        }
+        let mut dirty = false;
+        let mut persistent = false;
+        let mut tx = None;
+        let mut had_copy = false;
+        for arr in [&mut l1[core], &mut l2[core]] {
+            if let Some(old) = arr.invalidate(line) {
+                had_copy = true;
+                dirty |= old.state.is_dirty();
+                persistent |= old.persistent;
+                tx = tx.or(old.tx);
+            }
+        }
+        if !had_copy {
+            continue;
+        }
+        stats.remote_invalidations.inc();
+        if dirty {
+            stats.interventions.inc();
+            if persistent {
+                stats.dirty_persistent_invalidations.inc();
+            }
+            let pin = pin_uncommitted && persistent && tx.is_some();
+            let merged = llc.merge(line, true, persistent, tx, pin);
+            debug_assert!(merged, "remote private copy must be in LLC (inclusion)");
+        }
+        invalidated.push((core, line));
+    }
+}
+
+/// BusRd: snoops every remote private copy of `line` for a read miss.
+/// Remote Modified copies are downgraded to Shared (their data intervened
+/// into the LLC); every surviving remote copy is marked shared. Returns
+/// whether any remote copy exists — if so the requester must fill in
+/// Shared state.
+pub(crate) fn snoop_read(
+    l1: &mut [CacheArray],
+    l2: &mut [CacheArray],
+    llc: &mut CacheArray,
+    stats: &mut CoherenceStats,
+    pin_uncommitted: bool,
+    requester: usize,
+    line: LineAddr,
+) -> bool {
+    let mut any_copy = false;
+    for core in 0..l1.len() {
+        if core == requester {
+            continue;
+        }
+        let mut intervened = false;
+        for arr in [&mut l1[core], &mut l2[core]] {
+            if let Some(l) = arr.peek_mut(line) {
+                any_copy = true;
+                if l.state.is_dirty() {
+                    stats.downgrades.inc();
+                    if !intervened {
+                        intervened = true;
+                        stats.interventions.inc();
+                        let pin = pin_uncommitted && l.persistent && l.tx.is_some();
+                        let merged = llc.merge(line, true, l.persistent, l.tx, pin);
+                        debug_assert!(merged, "remote M copy must be in LLC (inclusion)");
+                    }
+                    l.state = LineState::Clean;
+                }
+                l.shared = true;
+            }
+        }
+    }
+    any_copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coh_state_derivation() {
+        let mut l = CacheLine::new();
+        assert_eq!(CohState::of(&l), CohState::Invalid);
+        l.state = LineState::Clean;
+        assert_eq!(CohState::of(&l), CohState::Exclusive);
+        l.shared = true;
+        assert_eq!(CohState::of(&l), CohState::Shared);
+        l.state = LineState::Dirty;
+        assert_eq!(CohState::of(&l), CohState::Modified);
+    }
+}

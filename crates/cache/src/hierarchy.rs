@@ -6,6 +6,7 @@ use std::error::Error;
 use pmacc_types::{CacheConfig, LineAddr, TxId};
 
 use crate::array::CacheArray;
+use crate::coherence::{snoop_invalidate, snoop_read};
 use crate::line::LineState;
 use crate::set::ReplacePolicy;
 use crate::stats::HierarchyStats;
@@ -107,6 +108,12 @@ pub struct AccessOutcome {
     pub hit: Option<Level>,
     /// Lines pushed out of the LLC by this access.
     pub evictions: Vec<Eviction>,
+    /// `(core, line)` pairs whose private copies were invalidated by this
+    /// access's coherence snoop (BusRdX/BusUpgr). Empty unless another
+    /// core held the accessed line; inclusion back-invalidations are *not*
+    /// listed here. The system layer uses this to credit transaction-cache
+    /// entries that outlive their cache copies.
+    pub invalidated: Vec<(usize, LineAddr)>,
 }
 
 /// The access could not fill the LLC because every way of the target set
@@ -185,12 +192,32 @@ impl Hierarchy {
     ) -> Result<AccessOutcome, PinBlockedError> {
         let line = acc.line;
         let persistent = line.is_persistent();
+        let pin_unc = self.opts.pin_uncommitted_in_llc;
         let mut evictions = Vec::new();
+        let mut invalidated = Vec::new();
 
         // L1.
-        if let Some(l) = self.l1[core].lookup(line) {
+        if let Some(was_shared) = self.l1[core].lookup(line).map(|l| l.shared) {
             if acc.write {
+                if was_shared {
+                    // BusUpgr: a write to a Shared line invalidates remote
+                    // copies before dirtying locally (S -> M).
+                    snoop_invalidate(
+                        &mut self.l1,
+                        &mut self.l2,
+                        &mut self.llc,
+                        &mut self.stats.coherence,
+                        pin_unc,
+                        core,
+                        line,
+                        true,
+                        &mut invalidated,
+                    );
+                    self.l2[core].set_shared(line, false);
+                }
+                let l = self.l1[core].peek_mut(line).expect("L1 hit just observed");
                 l.state = LineState::Dirty;
+                l.shared = false;
                 if acc.tx.is_some() {
                     l.tx = acc.tx;
                 }
@@ -199,16 +226,69 @@ impl Hierarchy {
             return Ok(AccessOutcome {
                 hit: Some(Level::L1),
                 evictions,
+                invalidated,
             });
         }
         self.stats.l1[core].accesses.record(false);
 
         // L2.
-        let l2_hit = self.l2[core].lookup(line).is_some();
+        let l2_shared = self.l2[core].lookup(line).map(|l| l.shared);
+        let l2_hit = l2_shared.is_some();
         self.stats.l2[core].accesses.record(l2_hit);
 
         let mut hit = if l2_hit { Some(Level::L2) } else { None };
-        if !l2_hit {
+        // Whether the L1 (and on a miss, L2) fill must be in Shared state.
+        let mut fill_shared = l2_shared.unwrap_or(false);
+        if l2_hit {
+            if acc.write && fill_shared {
+                // BusUpgr on the L2 copy (the L1 fill below dirties it).
+                snoop_invalidate(
+                    &mut self.l1,
+                    &mut self.l2,
+                    &mut self.llc,
+                    &mut self.stats.coherence,
+                    pin_unc,
+                    core,
+                    line,
+                    true,
+                    &mut invalidated,
+                );
+                self.l2[core].set_shared(line, false);
+                fill_shared = false;
+            }
+        } else {
+            // Private miss: the request goes on the bus, snooping the
+            // other cores' private caches before the LLC is consulted.
+            if acc.write {
+                // BusRdX: invalidate all remote copies, intervening dirty
+                // data into the LLC; fill will be Modified/Exclusive.
+                snoop_invalidate(
+                    &mut self.l1,
+                    &mut self.l2,
+                    &mut self.llc,
+                    &mut self.stats.coherence,
+                    pin_unc,
+                    core,
+                    line,
+                    false,
+                    &mut invalidated,
+                );
+            } else {
+                // BusRd: downgrade a remote Modified copy, mark survivors
+                // shared; remote copies force a Shared fill here.
+                fill_shared = snoop_read(
+                    &mut self.l1,
+                    &mut self.l2,
+                    &mut self.llc,
+                    &mut self.stats.coherence,
+                    pin_unc,
+                    core,
+                    line,
+                );
+                if fill_shared {
+                    self.stats.coherence.shared_fills.inc();
+                }
+            }
             // LLC (accessed only on an L2 miss).
             let llc_hit = self.llc.lookup(line).is_some();
             self.stats.llc.accesses.record(llc_hit);
@@ -229,6 +309,9 @@ impl Hierarchy {
             }
             // Fill L2.
             let ins2 = self.l2[core].insert(line, LineState::Clean, persistent, None, false);
+            if fill_shared {
+                self.l2[core].set_shared(line, true);
+            }
             if let Some((eaddr, eline)) = ins2.evicted {
                 self.stats.l2[core].evictions.inc();
                 self.absorb_l2_victim(core, eaddr, eline);
@@ -243,6 +326,9 @@ impl Hierarchy {
         };
         let tx = if acc.write { acc.tx } else { None };
         let ins1 = self.l1[core].insert(line, state, persistent, tx, false);
+        if fill_shared {
+            self.l1[core].set_shared(line, true);
+        }
         if let Some((eaddr, eline)) = ins1.evicted {
             self.stats.l1[core].evictions.inc();
             if eline.state.is_dirty() {
@@ -253,7 +339,11 @@ impl Hierarchy {
                 debug_assert!(merged, "L1 victim must be in L2");
             }
         }
-        Ok(AccessOutcome { hit, evictions })
+        Ok(AccessOutcome {
+            hit,
+            evictions,
+            invalidated,
+        })
     }
 
     /// Merges an evicted L2 line into the LLC (present by inclusion),
@@ -291,10 +381,12 @@ impl Hierarchy {
             if let Some(old) = self.l1[core].invalidate(eaddr) {
                 dirty |= old.state.is_dirty();
                 tx = old.tx.or(tx);
+                self.stats.coherence.back_invalidations.inc();
             }
             if let Some(old) = self.l2[core].invalidate(eaddr) {
                 dirty |= old.state.is_dirty();
                 tx = old.tx.or(tx);
+                self.stats.coherence.back_invalidations.inc();
             }
         }
         self.stats.llc.evictions.inc();

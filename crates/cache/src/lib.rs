@@ -3,10 +3,12 @@
 //!
 //! Models the paper's three-level hierarchy (private L1 and L2 per core, a
 //! shared inclusive LLC) as *state*: set-associative arrays with LRU (or
-//! pin-aware LRU) replacement, per-line persistent/volatile (P/V) flags and
-//! transaction tags. Timing is layered on top by the system crate
-//! (`pmacc`), which walks the hierarchy and adds the per-level latencies of
-//! Table 2.
+//! pin-aware LRU) replacement, per-line persistent/volatile (P/V) flags,
+//! transaction tags and a MESI sharing bit kept coherent by a snooping-bus
+//! layer (see the `coherence` module docs for the state encoding and the
+//! BusRd/BusRdX/BusUpgr flows). Timing is layered on top by the system
+//! crate (`pmacc`), which walks the hierarchy and adds the per-level
+//! latencies of Table 2.
 //!
 //! Two properties the paper relies on are first-class here:
 //!
@@ -39,6 +41,7 @@
 //! ```
 
 mod array;
+mod coherence;
 mod hierarchy;
 mod line;
 mod mshr;
@@ -47,9 +50,10 @@ mod stats;
 mod wbuf;
 
 pub use array::{CacheArray, Insertion};
+pub use coherence::CohState;
 pub use hierarchy::{Access, AccessOutcome, Eviction, Hierarchy, HierarchyOpts, Level, PinBlockedError};
 pub use line::{CacheLine, LineState};
 pub use mshr::{Mshr, MshrFullError};
 pub use set::{CacheSet, ReplacePolicy};
-pub use stats::{CacheStats, HierarchyStats};
+pub use stats::{CacheStats, CoherenceStats, HierarchyStats};
 pub use wbuf::WriteBackBuffer;

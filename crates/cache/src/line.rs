@@ -48,6 +48,13 @@ pub struct CacheLine {
     pub tx: Option<TxId>,
     /// Pinned lines are skipped by replacement (NVLLC uncommitted data).
     pub pinned: bool,
+    /// Coherence sharing bit: set when another core may hold a copy.
+    ///
+    /// Together with [`CacheLine::state`] this encodes MESI:
+    /// `Dirty` is **M**odified (never shared — writes invalidate remote
+    /// copies first), `Clean && !shared` is **E**xclusive,
+    /// `Clean && shared` is **S**hared, `Invalid` is **I**nvalid.
+    pub shared: bool,
     /// LRU clock value of the last touch.
     pub last_use: u64,
     /// LRU clock value of the fill (for FIFO replacement).
@@ -87,6 +94,7 @@ mod tests {
             persistent: true,
             tx: Some(TxId::new(0, 1)),
             pinned: true,
+            shared: true,
             last_use: 9,
             filled_at: 3,
         };
@@ -95,5 +103,6 @@ mod tests {
         assert!(!l.pinned);
         assert_eq!(l.tx, None);
         assert!(!l.persistent);
+        assert!(!l.shared);
     }
 }

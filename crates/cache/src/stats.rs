@@ -50,6 +50,58 @@ impl ToJson for CacheStats {
     }
 }
 
+/// Coherence-traffic counters for the snooping bus (all zero while cores
+/// touch disjoint lines — the protocol is inert without sharing).
+#[derive(Debug, Clone, Default)]
+pub struct CoherenceStats {
+    /// BusUpgr transactions: write hits on Shared lines that had to
+    /// invalidate remote copies before dirtying locally.
+    pub bus_upgrades: Counter,
+    /// Remote private copies invalidated by BusRdX/BusUpgr snoops
+    /// (excludes inclusion back-invalidations, counted separately).
+    pub remote_invalidations: Counter,
+    /// Snoops that found a remote *Modified* copy and had to source the
+    /// data from it (dirty intervention into the shared LLC).
+    pub interventions: Counter,
+    /// Remote Modified copies downgraded to Shared by a remote read.
+    pub downgrades: Counter,
+    /// Fills that entered the requester's private caches in Shared state
+    /// because another core still held the line.
+    pub shared_fills: Counter,
+    /// Invalidated remote copies that were dirty *persistent* data — the
+    /// cases where a TC/NVLLC entry must outlive its cache copy.
+    pub dirty_persistent_invalidations: Counter,
+    /// Inner copies invalidated to preserve inclusion when the LLC
+    /// replaced a line (not snoop traffic, but bus-visible work).
+    pub back_invalidations: Counter,
+}
+
+impl CoherenceStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        CoherenceStats::default()
+    }
+}
+
+impl ToJson for CoherenceStats {
+    /// All seven traffic counters.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bus_upgrades", self.bus_upgrades.to_json()),
+            ("remote_invalidations", self.remote_invalidations.to_json()),
+            ("interventions", self.interventions.to_json()),
+            ("downgrades", self.downgrades.to_json()),
+            ("shared_fills", self.shared_fills.to_json()),
+            (
+                "dirty_persistent_invalidations",
+                self.dirty_persistent_invalidations.to_json(),
+            ),
+            ("back_invalidations", self.back_invalidations.to_json()),
+        ])
+    }
+}
+
 /// Statistics of the whole hierarchy.
 #[derive(Debug, Clone, Default)]
 pub struct HierarchyStats {
@@ -59,6 +111,8 @@ pub struct HierarchyStats {
     pub l2: Vec<CacheStats>,
     /// Shared LLC statistics.
     pub llc: CacheStats,
+    /// Snooping-bus coherence traffic.
+    pub coherence: CoherenceStats,
 }
 
 impl HierarchyStats {
@@ -69,17 +123,19 @@ impl HierarchyStats {
             l1: vec![CacheStats::new(); cores],
             l2: vec![CacheStats::new(); cores],
             llc: CacheStats::new(),
+            coherence: CoherenceStats::new(),
         }
     }
 }
 
 impl ToJson for HierarchyStats {
-    /// Per-core L1/L2 arrays plus the shared LLC.
+    /// Per-core L1/L2 arrays plus the shared LLC and coherence traffic.
     fn to_json(&self) -> Json {
         Json::obj([
             ("l1", self.l1.to_json()),
             ("l2", self.l2.to_json()),
             ("llc", self.llc.to_json()),
+            ("coherence", self.coherence.to_json()),
         ])
     }
 }

@@ -1,9 +1,10 @@
 //! Property tests of the cache hierarchy: inclusion, write-back
-//! conservation and pin behaviour under random access streams.
+//! conservation, pin behaviour and MESI coherence invariants under
+//! random access streams.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use pmacc_cache::{Access, Hierarchy, HierarchyOpts};
+use pmacc_cache::{Access, CohState, Hierarchy, HierarchyOpts};
 use pmacc_types::{Addr, CacheConfig, LineAddr, TxId};
 
 fn hierarchy(pin: bool) -> Hierarchy {
@@ -117,6 +118,98 @@ fn pinned_lines_never_evict() {
             }
         }
     });
+}
+
+/// The MESI single-writer discipline, checked after every access of a
+/// randomized multi-core interleaving:
+///
+/// * a line with a Modified or Exclusive private copy has exactly one
+///   core holding it;
+/// * every copy derived as Shared is clean, and the `shared` bit never
+///   coexists with dirtiness;
+/// * whenever two cores hold the same line, all private copies are
+///   Shared;
+/// * inclusion (L1 ⊆ L2 ⊆ LLC) survives snoops and back-invalidation.
+#[test]
+fn mesi_coherence_invariants() {
+    pmacc_prop::check("mesi_coherence_invariants", |g| {
+        const CORES: usize = 3;
+        let mut h = Hierarchy::new(
+            CORES,
+            CacheConfig::new(512, 2, 0.5),
+            CacheConfig::new(2 * 1024, 4, 4.5),
+            CacheConfig::new(8 * 1024, 8, 10.0),
+            HierarchyOpts {
+                pin_uncommitted_in_llc: false,
+            },
+        );
+        let accesses = g.vec(1..300, |g| {
+            (
+                g.gen_range(0usize..CORES),
+                g.gen_range(0u64..48),
+                g.gen::<bool>(),
+            )
+        });
+        for (core, line_no, write) in accesses {
+            let line = nvm_line(line_no);
+            let acc = if write {
+                Access::store(line)
+            } else {
+                Access::load(line)
+            };
+            h.access(core, acc).expect("no pinning configured");
+            check_mesi(&h, CORES);
+        }
+    });
+}
+
+fn check_mesi(h: &Hierarchy, cores: usize) {
+    // Per line, the set of holder cores and the strongest private state
+    // each holds (a core may hold copies in both L1 and L2; dirtiness in
+    // either makes it the Modified owner).
+    let mut holders: HashMap<LineAddr, Vec<(usize, CohState)>> = HashMap::new();
+    for core in 0..cores {
+        let mut strongest: HashMap<LineAddr, CohState> = HashMap::new();
+        for arr in [h.l1(core), h.l2(core)] {
+            for (line, l) in arr.iter_valid() {
+                assert!(
+                    !(l.shared && l.state.is_dirty()),
+                    "core {core} holds {line} both shared and dirty"
+                );
+                let s = CohState::of(l);
+                if s == CohState::Shared {
+                    assert!(!l.state.is_dirty(), "Shared copy of {line} is dirty");
+                }
+                let e = strongest.entry(line).or_insert(s);
+                if s == CohState::Modified {
+                    *e = s;
+                }
+                // Inclusion after back-invalidation: every private copy
+                // still has an LLC backing line.
+                assert!(h.llc().contains(line), "{line} cached privately but not in LLC");
+            }
+        }
+        for (line, s) in strongest {
+            holders.entry(line).or_default().push((core, s));
+        }
+    }
+    for (line, hs) in holders {
+        let exclusive = hs
+            .iter()
+            .filter(|(_, s)| matches!(s, CohState::Modified | CohState::Exclusive))
+            .count();
+        assert!(
+            exclusive <= 1,
+            "{line} has {exclusive} Modified/Exclusive owners: {hs:?}"
+        );
+        if hs.len() > 1 {
+            assert!(
+                hs.iter().all(|(_, s)| *s == CohState::Shared),
+                "{line} held by {} cores but not all Shared: {hs:?}",
+                hs.len()
+            );
+        }
+    }
 }
 
 /// flush_line is idempotent and never leaves a dirty copy behind.

@@ -132,6 +132,7 @@ impl ToJson for TcStats {
             ("probe_misses", self.probe_misses.to_json()),
             ("full_rejections", self.full_rejections.to_json()),
             ("overflows", self.overflows.to_json()),
+            ("remote_invalidations", self.remote_invalidations.to_json()),
             ("high_water", self.high_water.to_json()),
         ])
     }

@@ -38,6 +38,10 @@ pub struct CowTxShadow {
     pub records: Vec<(WordAddr, Word)>,
     /// Whether the commit record persisted.
     pub committed: bool,
+    /// Global commit order (1-based journal index) stamped when the commit
+    /// record persisted; 0 while uncommitted. Shares the replay ordering
+    /// of [`TcEntry::commit_seq`].
+    pub commit_seq: u64,
 }
 
 /// Everything that survives a power failure, plus the checking oracle.
@@ -126,18 +130,23 @@ pub fn recover(state: &CrashState) -> Backing {
             }
         }
         SchemeKind::TxCache => {
-            // Per core, merge the two durable sources — committed
-            // transaction-cache entries (FIFO order) and committed COW
-            // shadows — and redo them in ascending TxID order, so a
-            // transaction that overflowed to the COW path interleaves
-            // correctly with its TC-buffered neighbours. A transaction is
-            // entirely in one source: overflowing discards its TC entries.
+            // Merge the durable sources of *all* cores — committed
+            // transaction-cache entries (FIFO order within a transaction)
+            // and committed COW shadows — and redo them in ascending
+            // global commit order (the `commit_seq` each transaction was
+            // stamped with at TX_END). Per core commit order equals
+            // program order, so with disjoint data this degenerates to
+            // the old per-core serial replay; when two cores' committed
+            // transactions wrote the same shared line, the replay lands
+            // the writes in the order the transactions serialized. A
+            // transaction is entirely in one source: overflowing to the
+            // COW path discards its TC entries.
+            let mut by_seq: std::collections::BTreeMap<u64, Vec<(WordAddr, Word)>> =
+                std::collections::BTreeMap::new();
             for core in 0..state.cores {
-                let mut by_serial: std::collections::BTreeMap<u64, Vec<(WordAddr, Word)>> =
-                    std::collections::BTreeMap::new();
                 for e in &state.txcaches[core] {
                     if e.state == EntryState::Committed {
-                        let bucket = by_serial.entry(e.tx.serial()).or_default();
+                        let bucket = by_seq.entry(e.commit_seq).or_default();
                         for (i, v) in e.values.iter().enumerate() {
                             if let Some(v) = v {
                                 bucket.push((e.line.word(i), *v));
@@ -147,16 +156,16 @@ pub fn recover(state: &CrashState) -> Backing {
                 }
                 for s in &state.cow[core] {
                     if s.committed {
-                        by_serial
-                            .entry(s.tx.serial())
+                        by_seq
+                            .entry(s.commit_seq)
                             .or_default()
                             .extend(s.records.iter().copied());
                     }
                 }
-                for (_, writes) in by_serial {
-                    for (w, v) in writes {
-                        nvm.write_word(w, v);
-                    }
+            }
+            for (_, writes) in by_seq {
+                for (w, v) in writes {
+                    nvm.write_word(w, v);
                 }
             }
         }
@@ -288,7 +297,9 @@ impl std::error::Error for RecoveryError {}
 pub fn check_recovery(state: &CrashState, recovered: &Backing) -> Result<(), RecoveryError> {
     let heap_base = layout::persistent_heap_base().word();
     // Expected image: initial + committed-transaction writes in order.
-    // Journal order is commit order per core; cores touch disjoint words.
+    // Journal order is *global* commit order (the push order of TX_END
+    // completions), so shared-window words written by several cores'
+    // transactions replay in the order those transactions serialized.
     let mut expected: HashMap<WordAddr, Word> = state
         .initial_nvm
         .iter()
@@ -406,6 +417,7 @@ mod tests {
             line: heap_word(0).line(),
             values: [None; 8],
             issued: false,
+            commit_seq: 1,
         };
         committed.values[0] = Some(7);
         let mut active = committed;
@@ -413,6 +425,7 @@ mod tests {
         active.tx = TxId::new(0, 1);
         active.values[0] = Some(99);
         active.line = heap_word(8).line();
+        active.commit_seq = 0;
         st.txcaches[0] = vec![committed, active];
         st.journal.push(TxRecord {
             tx: TxId::new(0, 0),
@@ -432,11 +445,13 @@ mod tests {
             tx: TxId::new(0, 0),
             records: vec![(heap_word(1), 5)],
             committed: true,
+            commit_seq: 1,
         });
         st.cow[0].push(CowTxShadow {
             tx: TxId::new(0, 1),
             records: vec![(heap_word(2), 6)],
             committed: false,
+            commit_seq: 0,
         });
         st.journal.push(TxRecord {
             tx: TxId::new(0, 0),
@@ -512,6 +527,7 @@ mod tests {
             line: heap_word(0).line(),
             values: [None; 8],
             issued: false,
+            commit_seq: 1,
         };
         e.values[0] = Some(1);
         e.values[1] = Some(2);

@@ -90,8 +90,8 @@ pub struct ServeCoreStats {
 
 /// Snapshot of a core's per-kind stall totals, in [`StallKind::all`]
 /// order.
-pub(crate) fn stall_snapshot(stats: &CoreStats) -> [u64; 6] {
-    let mut out = [0u64; 6];
+pub(crate) fn stall_snapshot(stats: &CoreStats) -> [u64; 7] {
+    let mut out = [0u64; 7];
     for (slot, kind) in out.iter_mut().zip(StallKind::all()) {
         *slot = stats.stall(kind);
     }
@@ -100,13 +100,16 @@ pub(crate) fn stall_snapshot(stats: &CoreStats) -> [u64; 6] {
 
 /// Splits a completed request's stall-cycle deltas into the persist-path
 /// share (`tc`) and the memory-queue share (`nvm`).
-pub(crate) fn attribute_stalls(start: &[u64; 6], end: &[u64; 6]) -> (u64, u64) {
+pub(crate) fn attribute_stalls(start: &[u64; 7], end: &[u64; 7]) -> (u64, u64) {
     let mut tc = 0u64;
     let mut nvm = 0u64;
     for (i, kind) in StallKind::all().iter().enumerate() {
         let d = end[i].saturating_sub(start[i]);
         match kind {
-            StallKind::TxCacheFull | StallKind::CommitFlush | StallKind::PinBlocked => tc += d,
+            StallKind::TxCacheFull
+            | StallKind::CommitFlush
+            | StallKind::PinBlocked
+            | StallKind::Conflict => tc += d,
             StallKind::Load | StallKind::StoreBufferFull | StallKind::Fence => nvm += d,
         }
     }
@@ -118,7 +121,7 @@ pub(crate) fn attribute_stalls(start: &[u64; 6], end: &[u64; 6]) -> (u64, u64) {
 pub(crate) struct ReqTiming {
     pub arrival: Cycle,
     pub admitted: Cycle,
-    pub stalls: [u64; 6],
+    pub stalls: [u64; 7],
 }
 
 /// Service-mode state for one core.
@@ -152,10 +155,10 @@ mod tests {
 
     #[test]
     fn stall_attribution_splits_by_kind() {
-        let start = [10, 0, 5, 0, 0, 0];
-        let end = [30, 4, 5, 100, 2, 1];
+        let start = [10, 0, 5, 0, 0, 0, 0];
+        let end = [30, 4, 5, 100, 2, 1, 8];
         let (tc, nvm) = attribute_stalls(&start, &end);
-        assert_eq!(tc, 100 + 2 + 1);
+        assert_eq!(tc, 100 + 2 + 1 + 8);
         assert_eq!(nvm, 20 + 4);
     }
 }

@@ -32,18 +32,16 @@ use crate::scheme;
 use crate::service::{self, ReqTiming, ServeConfig, ServeCore, ServeCoreStats, ServeState};
 use crate::txcache::TxCache;
 
-/// Per-core address stride so each core's workload instance occupies a
-/// disjoint 1 GiB slice of both heaps (cores do not share data, as in the
-/// paper's rate-style multiprogrammed evaluation).
-const CORE_STRIDE: u64 = 1 << 30;
-/// Cores supported by the striding (the paper evaluates 4).
-const MAX_STRIDED_CORES: usize = 6;
+use pmacc_types::layout::{CORE_STRIDE, MAX_STRIDED_CORES};
 
 /// Batch limits for one core-step event (fairness between components).
 const STEP_OPS: usize = 64;
 const STEP_CYCLES: Cycle = 256;
 /// Retry interval when an NVLLC fill finds its LLC set fully pinned.
 const PIN_RETRY: Cycle = 64;
+/// Retry interval while a transactional store is serialized behind a
+/// remote core's conflicting active transaction.
+const CONFLICT_RETRY: Cycle = 64;
 /// Forced unpins start after this many pin-blocked retries.
 const PIN_RETRY_LIMIT: u32 = 8;
 
@@ -114,7 +112,7 @@ const SERIES_CAPACITY: usize = 1024;
 struct Sampler {
     rec: Option<pmacc_telemetry::SeriesRecorder>,
     next: Cycle,
-    prev_stalls: [u64; 6],
+    prev_stalls: [u64; 7],
 }
 
 impl Sampler {
@@ -134,7 +132,7 @@ impl Sampler {
         Sampler {
             rec,
             next: period.max(1),
-            prev_stalls: [0; 6],
+            prev_stalls: [0; 7],
         }
     }
 
@@ -177,6 +175,10 @@ enum Origin {
         slot: usize,
         line: LineAddr,
         values: [Option<Word>; WORDS_PER_LINE],
+        /// Commit order of the owning transaction, so acks of two cores'
+        /// writes to one shared word apply in commit order regardless of
+        /// NVM completion order.
+        seq: u64,
     },
     CowData {
         core: usize,
@@ -190,6 +192,8 @@ enum Origin {
         tx: TxId,
         word: WordAddr,
         value: Word,
+        /// Commit order of the overflowed transaction (see `TcAck::seq`).
+        seq: u64,
     },
 }
 
@@ -226,6 +230,10 @@ struct CoreCtx {
     cow_pending: usize,
     cow_cursor: u64,
     pin_retries: u32,
+    /// One-shot pass issued by the deadlock-avoidance rule: the next
+    /// conflict check on this core is skipped so the lowest-index member
+    /// of a mutually blocked cycle can proceed.
+    conflict_exempt: bool,
     /// A `pcommit` is waiting for the NVM writes accepted before it (this
     /// durable-count target) to complete.
     pcommit: Option<u64>,
@@ -255,6 +263,7 @@ impl CoreCtx {
             cow_pending: 0,
             cow_cursor: 0,
             pin_retries: 0,
+            conflict_exempt: false,
             pcommit: None,
         }
     }
@@ -322,6 +331,14 @@ pub struct System {
     /// traces, so it is independent of how far execution got (SP's commit
     /// marker can become durable before its deferred data stores run).
     tx_write_table: Vec<Vec<Vec<(WordAddr, Word)>>>,
+    /// Per shared-window word, the highest commit order whose value has
+    /// been applied to the durable NVM image. Two cores' committed writes
+    /// to a shared word may complete at the NVM out of commit order; this
+    /// keeps the functional image ordered by commit without perturbing
+    /// timing. Private (striped) words never alias, so they skip the map.
+    durable_word_seq: FxHashMap<WordAddr, u64>,
+    /// Cached [`layout::shared_pool_base`] word bound for the check above.
+    shared_word_base: u64,
     /// Cycle at which measurement started (after warm-up, if any).
     measure_start: Cycle,
     warmup_done: bool,
@@ -440,6 +457,8 @@ impl System {
             nv_llc_committed: FxHashMap::default(),
             cow_shadow: vec![Vec::new(); cfg.cores],
             cow_installs: FxHashMap::default(),
+            durable_word_seq: FxHashMap::default(),
+            shared_word_base: layout::shared_pool_base().word().raw(),
             tx_write_table,
             measure_start: 0,
             warmup_done: false,
@@ -813,11 +832,7 @@ impl System {
         // end of the run (the drain tail) would be missing from the
         // series; flush them up to the final cycle.
         let end = self.cores.iter().map(|c| c.time).max().unwrap_or(self.clock);
-        while self.sampler.rec.is_some() && self.sampler.next <= end {
-            let at = self.sampler.next;
-            self.take_sample(at);
-            self.sampler.next += self.run_cfg.sample_period;
-        }
+        self.flush_samples(end);
         Ok(self.report())
     }
 
@@ -850,11 +865,7 @@ impl System {
             // Cycle-sampled telemetry: take every sample point the clock
             // just crossed (state is as of the last event before it, so
             // the series is independent of intra-cycle event order).
-            while self.sampler.rec.is_some() && self.sampler.next <= t {
-                let at = self.sampler.next;
-                self.take_sample(at);
-                self.sampler.next += self.run_cfg.sample_period;
-            }
+            self.flush_samples(t);
             match ev {
                 Event::CoreStep(c) => self.handle_core_step(c),
                 Event::MemPoke(i) => self.handle_mem_poke(i),
@@ -867,6 +878,17 @@ impl System {
 
     fn all_finished(&self) -> bool {
         self.cores.iter().all(|c| c.finished)
+    }
+
+    /// Takes every sample point at or before `upto` that has not been
+    /// taken yet — shared by the event loop (points the clock just
+    /// crossed) and the end-of-run drain-tail flush.
+    fn flush_samples(&mut self, upto: Cycle) {
+        while self.sampler.rec.is_some() && self.sampler.next <= upto {
+            let at = self.sampler.next;
+            self.take_sample(at);
+            self.sampler.next += self.run_cfg.sample_period;
+        }
     }
 
     /// Records one time-series sample row at cycle `at`: aggregate
@@ -1042,6 +1064,36 @@ impl System {
                 self.cores[c].time = t;
                 self.handle_core_step(c);
             }
+            Some(StallKind::Conflict) => {
+                // Re-derive the contended line from the store being
+                // retried (the op index did not advance when the stall
+                // began, so it is still the current op).
+                let line = match self.traces[c].get(self.cores[c].idx) {
+                    Some(Op::Store { addr, .. } | Op::LogStore { addr, .. }) => addr.line(),
+                    _ => {
+                        debug_assert!(false, "Conflict stall on a non-store op");
+                        return;
+                    }
+                };
+                if self.conflicting_core(c, line).is_none() {
+                    // The conflicting transaction retired.
+                } else if self.conflict_deadlock_break(c, line) {
+                    self.cores[c].conflict_exempt = true;
+                    self.cores[c].stats.conflict_overrides.inc();
+                } else {
+                    let at = self.clock + CONFLICT_RETRY;
+                    self.push_event(at, Event::CoreStep(c));
+                    return;
+                }
+                self.cores[c].blocked = None;
+                let t = self.clock.max(self.cores[c].time);
+                let started = self.cores[c].stall_started;
+                self.cores[c]
+                    .stats
+                    .add_stall(StallKind::Conflict, t.saturating_sub(started));
+                self.cores[c].time = t;
+                self.handle_core_step(c);
+            }
             _ => {}
         }
     }
@@ -1140,6 +1192,7 @@ impl System {
                 self.pin_blocked(c, line);
             }
             Ok(out) => {
+                self.note_invalidations(&out.invalidated);
                 self.route_evictions(out.evictions);
                 match out.hit {
                     Some(Level::L1) => {
@@ -1261,6 +1314,26 @@ impl System {
         let tc_route =
             self.cfg.scheme == SchemeKind::TxCache && persistent && in_tx && kind == StoreKind::Data;
 
+        // Cross-core conflict serialization, checked before any other
+        // side effect so the retried op is idempotent: a transactional
+        // persistent store to a line a remote core's in-flight
+        // transaction has written stalls until that transaction's commit
+        // is durable, so commit order equals the order conflicting
+        // writes reach the persistence domain (§3's program-order rule,
+        // lifted across cores). Inert without sharing — striped cores
+        // never hold the same line.
+        if persistent && in_tx && kind == StoreKind::Data {
+            if self.cores[c].conflict_exempt {
+                self.cores[c].conflict_exempt = false;
+            } else if self.conflicting_core(c, addr.line()).is_some() {
+                self.cores[c].stats.tx_conflicts.inc();
+                self.cores[c].begin_stall(StallKind::Conflict);
+                let at = self.clock.max(self.cores[c].time) + CONFLICT_RETRY;
+                self.push_event(at, Event::CoreStep(c));
+                return;
+            }
+        }
+
         // The transaction cache may need to stall *before* any other side
         // effect so that the retried op is idempotent.
         if tc_route && !self.cores[c].cow_active {
@@ -1295,6 +1368,7 @@ impl System {
             Ok(out) => out,
         };
         self.cores[c].pin_retries = 0;
+        self.note_invalidations(&outcome.invalidated);
         self.route_evictions(outcome.evictions);
 
         // Functional: architectural memory state.
@@ -1359,7 +1433,9 @@ impl System {
         }
         if persistent && in_tx && kind == StoreKind::Data {
             self.cores[c].tx_writes.push((addr.word(), value));
-            if self.cfg.scheme == SchemeKind::NvLlc && !self.cores[c].tx_lines.contains(&line) {
+            // Every scheme tracks the written lines: NVLLC commits them,
+            // and the conflict check above reads them on remote cores.
+            if !self.cores[c].tx_lines.contains(&line) {
                 self.cores[c].tx_lines.push(line);
             }
         }
@@ -1368,6 +1444,49 @@ impl System {
         self.cores[c].stats.ops.inc();
         self.cores[c].stats.stores.inc();
         self.cores[c].idx += 1;
+    }
+
+    /// The lowest-index remote core whose in-flight transaction — active,
+    /// or at `TX_END` with its commit not yet durable — has written
+    /// `line`. `tx_lines` is cleared when the commit retires
+    /// ([`System::finish_txend`]), which is exactly when the conflicting
+    /// writer may proceed.
+    fn conflicting_core(&self, c: usize, line: LineAddr) -> Option<usize> {
+        (0..self.cores.len()).find(|&r| {
+            r != c
+                && (self.cores[r].regs.in_tx() || self.cores[r].txend.is_some())
+                && self.cores[r].tx_lines.contains(&line)
+        })
+    }
+
+    /// Deadlock avoidance for conflict serialization: when transactions
+    /// block each other in a cycle (each wrote a line the other wants),
+    /// none can retire. The lowest-index Conflict-blocked core whose
+    /// conflictors are *all* themselves Conflict-blocked gets a one-shot
+    /// exemption and proceeds; everyone else keeps waiting, so the cycle
+    /// unwinds deterministically one core at a time.
+    fn conflict_deadlock_break(&self, c: usize, line: LineAddr) -> bool {
+        if (0..c).any(|i| self.cores[i].blocked == Some(StallKind::Conflict)) {
+            return false;
+        }
+        (0..self.cores.len()).all(|r| {
+            r == c
+                || self.cores[r].blocked == Some(StallKind::Conflict)
+                || !((self.cores[r].regs.in_tx() || self.cores[r].txend.is_some())
+                    && self.cores[r].tx_lines.contains(&line))
+        })
+    }
+
+    /// Books the TC-side effect of snoop invalidations: a remote core
+    /// losing its cache copies of a line must *keep* any transaction-
+    /// cache entry for it — the P/V flag lives in the TC, decoupled from
+    /// the cache states — so only a counter moves here.
+    fn note_invalidations(&mut self, invalidated: &[(usize, LineAddr)]) {
+        for &(r, line) in invalidated {
+            if self.tcs[r].contains_line(line) {
+                self.tcs[r].stats.remote_invalidations.inc();
+            }
+        }
     }
 
     fn pin_blocked(&mut self, c: usize, line: LineAddr) {
@@ -1476,7 +1595,15 @@ impl System {
             match self.cfg.scheme {
                 SchemeKind::Optimal | SchemeKind::Sp => self.finish_txend(c),
                 SchemeKind::TxCache => {
-                    self.tcs[c].commit(tx);
+                    // The commit order is the journal index this
+                    // transaction takes: `finish_txend` pushes it within
+                    // this same event in the non-COW case. In the COW
+                    // case the TC holds no entries for this transaction
+                    // (overflow discarded them), so this stamp is a
+                    // no-op; the shadow's authoritative order is set when
+                    // its commit record persists.
+                    let seq = self.journal.len() as u64 + 1;
+                    self.tcs[c].commit(tx, seq);
                     let at = self.clock.max(self.cores[c].time);
                     self.schedule_tc_drain(c, at);
                     if self.cores[c].cow_active {
@@ -1566,7 +1693,7 @@ impl System {
         self.dropped_llc_writes = Counter::new();
         // Stall totals just reset, so the sampler's deltas must restart
         // from zero too (the series itself keeps its pre-warm-up tail).
-        self.sampler.prev_stalls = [0; 6];
+        self.sampler.prev_stalls = [0; 7];
     }
 
     // ------------------------------------------------------------------
@@ -1605,6 +1732,7 @@ impl System {
                     slot,
                     line: entry.line,
                     values: entry.values,
+                    seq: entry.commit_seq,
                 },
             );
             let req = MemReq::write(id, entry.line, Some(c), pmacc_types::WriteCause::TxCacheDrain)
@@ -1691,6 +1819,7 @@ impl System {
                 tx,
                 records: vec![(word, value)],
                 committed: false,
+                commit_seq: 0,
             });
         }
         let id = self.req_id();
@@ -1878,11 +2007,12 @@ impl System {
                 slot,
                 line,
                 values,
+                seq,
             } => {
                 self.record_boundary(BoundaryClass::DrainAck);
                 for (i, v) in values.iter().enumerate() {
                     if let Some(v) = v {
-                        self.nvm_backing.write_word(line.word(i), *v);
+                        self.durable_write(line.word(i), *v, seq);
                     }
                 }
                 self.tcs[core].ack_slot(slot);
@@ -1902,12 +2032,16 @@ impl System {
             }
             Origin::CowRecord { core, tx } => {
                 self.record_boundary(BoundaryClass::CowCommit);
+                // The journal index this transaction takes: its
+                // `finish_txend` runs below, within this same event.
+                let seq = self.journal.len() as u64 + 1;
                 if let Some(s) = self.cow_shadow[core]
                     .iter_mut()
                     .rev()
                     .find(|s| s.tx == tx)
                 {
                     s.committed = true;
+                    s.commit_seq = seq;
                 }
                 // Install the shadow copies in their home locations; the
                 // shadow is truncated once every install is durable.
@@ -1932,6 +2066,7 @@ impl System {
                             tx,
                             word: w,
                             value: v,
+                            seq,
                         },
                     );
                     let req =
@@ -1955,9 +2090,10 @@ impl System {
                 tx,
                 word,
                 value,
+                seq,
             } => {
                 self.record_boundary(BoundaryClass::CowCommit);
-                self.nvm_backing.write_word(word, value);
+                self.durable_write(word, value, seq);
                 if let Some(n) = self.cow_installs.get_mut(&(core, tx)) {
                     *n -= 1;
                     if *n == 0 {
@@ -1978,6 +2114,22 @@ impl System {
             MemRegion::Dram => &mut self.dram_backing,
         };
         backing.write_line(line, words);
+    }
+
+    /// Applies one committed durable word write in commit order: two
+    /// cores' transactions may both write a shared word, and their NVM
+    /// completions can land out of commit order across banks, so shared-
+    /// window words keep the highest-`seq` value. Private (striped) words
+    /// never alias across cores and skip the sequence map entirely.
+    fn durable_write(&mut self, word: WordAddr, value: Word, seq: u64) {
+        if word.raw() >= self.shared_word_base {
+            let e = self.durable_word_seq.entry(word).or_insert(0);
+            if *e > seq {
+                return;
+            }
+            *e = seq;
+        }
+        self.nvm_backing.write_word(word, value);
     }
 }
 
@@ -2035,10 +2187,13 @@ fn stride_addr(addr: Addr, core: usize) -> Addr {
     let volatile_heap = layout::volatile_heap_base().raw();
     let nvm = Addr::nvm_base().raw();
     let persistent_heap = layout::persistent_heap_base().raw();
+    let shared_pool = layout::shared_pool_base().raw();
     // Only heap addresses stripe; the per-core log/COW scratch areas
-    // (between the NVM base and the persistent heap) are already private.
+    // (between the NVM base and the persistent heap) are already private,
+    // and the shared window above the striped heap is shared by design —
+    // every core addresses it identically.
     let in_volatile_heap = (volatile_heap..nvm).contains(&raw);
-    let in_persistent_heap = raw >= persistent_heap;
+    let in_persistent_heap = (persistent_heap..shared_pool).contains(&raw);
     if in_volatile_heap || in_persistent_heap {
         Addr::new(raw + core as u64 * CORE_STRIDE)
     } else {
@@ -2082,6 +2237,10 @@ mod tests {
         // Volatile heap shifts too.
         let vol = layout::volatile_heap_base();
         assert_eq!(stride_addr(vol, 1).raw(), vol.raw() + CORE_STRIDE);
+        // The shared window is shared by design: no shift for any core.
+        let shared = layout::shared_pool_base();
+        assert_eq!(stride_addr(shared, 0), shared);
+        assert_eq!(stride_addr(shared.offset(4096), 3), shared.offset(4096));
         // Word form agrees with the byte form.
         assert_eq!(
             stride_word(heap.word(), 2).to_addr(),

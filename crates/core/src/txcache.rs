@@ -66,6 +66,12 @@ pub struct TcEntry {
     pub values: [Option<Word>; WORDS_PER_LINE],
     /// Whether the entry has been issued toward the NVM controller.
     pub issued: bool,
+    /// Global commit order of the owning transaction (the 1-based journal
+    /// index stamped at commit time; 0 while the entry is still active).
+    /// Recovery replays committed entries of *all* cores in this order, so
+    /// cross-core writes to a shared line land in the order the
+    /// transactions serialized on the bus.
+    pub commit_seq: u64,
 }
 
 impl TcEntry {
@@ -76,6 +82,7 @@ impl TcEntry {
             line: LineAddr::new(0),
             values: [None; WORDS_PER_LINE],
             issued: false,
+            commit_seq: 0,
         }
     }
 }
@@ -99,6 +106,10 @@ pub struct TcStats {
     pub full_rejections: Counter,
     /// Transactions diverted to the copy-on-write fall-back path.
     pub overflows: Counter,
+    /// Remote snoop invalidations that hit a line this TC currently
+    /// buffers: the cache copy died but the entry (and its P/V flag)
+    /// survived, which is exactly the decoupling §4 argues for.
+    pub remote_invalidations: Counter,
     /// Highest occupancy observed.
     pub high_water: Counter,
 }
@@ -133,8 +144,9 @@ impl std::error::Error for TcFullError {}
 /// tc.insert(tx, Addr::nvm_base().word(), 42).expect("room");
 /// assert_eq!(tc.active_entries(), 1);
 ///
-/// // TX_END: a commit request flips them to committed via a CAM match.
-/// assert_eq!(tc.commit(tx), 1);
+/// // TX_END: a commit request flips them to committed via a CAM match,
+/// // stamped with the transaction's global commit order.
+/// assert_eq!(tc.commit(tx, 1), 1);
 ///
 /// // The FIFO issues committed entries toward the NVM in program order…
 /// let (slot, entry) = tc.next_issue().expect("committed entry");
@@ -318,6 +330,7 @@ impl TxCache {
             line,
             values,
             issued: false,
+            commit_seq: 0,
         };
         self.head = self.step(slot);
         self.len += 1;
@@ -340,8 +353,10 @@ impl TxCache {
     }
 
     /// Serves a commit request: every active entry of `tx` becomes
-    /// committed (single CAM operation). Returns how many entries matched.
-    pub fn commit(&mut self, tx: TxId) -> usize {
+    /// committed (single CAM operation), stamped with the transaction's
+    /// global commit order `seq` (the recovery replay key — see
+    /// [`TcEntry::commit_seq`]). Returns how many entries matched.
+    pub fn commit(&mut self, tx: TxId, seq: u64) -> usize {
         let mut n = 0;
         let mut i = 0;
         while i < self.active_slots.len() {
@@ -349,6 +364,7 @@ impl TxCache {
             debug_assert_eq!(self.entries[s].state, EntryState::Active);
             if self.entries[s].tx == tx {
                 self.entries[s].state = EntryState::Committed;
+                self.entries[s].commit_seq = seq;
                 self.active_slots.swap_remove(i);
                 n += 1;
             } else {
@@ -575,7 +591,7 @@ mod tests {
         assert_eq!(tc.active_entries(), 2);
         assert!(tc.next_issue().is_none(), "active entries must not issue");
 
-        assert_eq!(tc.commit(tx(0)), 2);
+        assert_eq!(tc.commit(tx(0), 1), 2);
         assert_eq!(tc.active_entries(), 0);
 
         let (i1, e1) = tc.next_issue().unwrap();
@@ -599,7 +615,7 @@ mod tests {
         for i in 0..4 {
             tc.insert(tx(0), word(i), i).unwrap();
         }
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         let mut order = Vec::new();
         while let Some((i, e)) = tc.next_issue() {
             order.push(e.line);
@@ -619,7 +635,7 @@ mod tests {
         assert_eq!(tc.insert(tx(0), word(2), 2), Err(TcFullError));
         assert_eq!(tc.stats.full_rejections.value(), 1);
 
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         let (i, _) = tc.next_issue().unwrap();
         tc.mark_issued(i);
         tc.ack_slot(i);
@@ -633,7 +649,7 @@ mod tests {
         // Two writes to the same line in one tx (no coalescing).
         tc.insert(tx(0), word(5), 1).unwrap();
         tc.insert(tx(0), word(5), 2).unwrap();
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         let (a, _) = tc.next_issue().unwrap();
         tc.mark_issued(a);
         let (b, _) = tc.next_issue().unwrap();
@@ -650,7 +666,7 @@ mod tests {
     fn probe_returns_newest_version() {
         let mut tc = TxCache::new(&cfg(4));
         tc.insert(tx(0), word(5), 1).unwrap();
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         tc.insert(tx(1), word(5), 2).unwrap();
         let hit = tc.probe(word(5).line()).unwrap();
         assert_eq!(hit.values[word(5).index_in_line()], Some(2));
@@ -674,7 +690,7 @@ mod tests {
         assert_eq!(e.values[0], Some(1));
         assert_eq!(e.values[1], Some(2));
         // A different transaction does not coalesce into it.
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         tc.insert(tx(1), w0, 9).unwrap();
         assert_eq!(tc.occupancy(), 2);
     }
@@ -690,7 +706,7 @@ mod tests {
         }
         assert!(tc.overflow_triggered(), "9 of 10 active entries = 90%");
         // Committed entries do not count toward overflow.
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         assert!(!tc.overflow_triggered());
     }
 
@@ -698,7 +714,7 @@ mod tests {
     fn discard_active_drops_only_that_tx() {
         let mut tc = TxCache::new(&cfg(8));
         tc.insert(tx(0), word(0), 0).unwrap();
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         tc.insert(tx(1), word(1), 1).unwrap();
         tc.insert(tx(1), word(2), 2).unwrap();
         assert_eq!(tc.discard_active(tx(1)), 2);
@@ -724,7 +740,7 @@ mod tests {
         for i in 0..4 {
             tc.insert(tx(0), word(i), i).unwrap();
         }
-        tc.commit(tx(0));
+        tc.commit(tx(0), 1);
         let slots: Vec<usize> = (0..4)
             .map(|_| {
                 let (i, _) = tc.next_issue().unwrap();
@@ -749,7 +765,7 @@ mod tests {
         let mut tc = TxCache::new(&cfg(2));
         for round in 0..5u64 {
             tc.insert(tx(round), word(round), round).unwrap();
-            tc.commit(tx(round));
+            tc.commit(tx(round), round + 1);
             let (i, _) = tc.next_issue().unwrap();
             tc.mark_issued(i);
             tc.ack_slot(i);

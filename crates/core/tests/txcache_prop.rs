@@ -67,7 +67,7 @@ fn fifo_invariants_hold() {
                     }
                 }
                 TcOp::Commit => {
-                    let n = tc.commit(tx);
+                    let n = tc.commit(tx, serial + 1);
                     assert_eq!(n, active_insertion.len(), "commit matches all active");
                     committed_insertion.extend(active_insertion.drain(..));
                     serial += 1;
@@ -152,6 +152,7 @@ impl NaiveTc {
                     line: pmacc_types::LineAddr::new(0),
                     values: [None; pmacc_types::WORDS_PER_LINE],
                     issued: false,
+                    commit_seq: 0,
                 };
                 cfg.entries()
             ],
@@ -223,6 +224,7 @@ impl NaiveTc {
             line: word.line(),
             values,
             issued: false,
+            commit_seq: 0,
         };
         self.head = self.step(slot);
         self.len += 1;
@@ -232,12 +234,13 @@ impl NaiveTc {
         Ok(())
     }
 
-    fn commit(&mut self, tx: TxId) -> usize {
+    fn commit(&mut self, tx: TxId, seq: u64) -> usize {
         let mut n = 0;
         for i in self.window_indices() {
             let e = &mut self.entries[i];
             if e.state == EntryState::Active && e.tx == tx {
                 e.state = EntryState::Committed;
+                e.commit_seq = seq;
                 n += 1;
             }
         }
@@ -422,7 +425,8 @@ fn indexed_cam_matches_naive_reference() {
                 }
                 EqOp::Commit(s) => {
                     let tx = TxId::new(0, serials[usize::from(s)]);
-                    assert_eq!(fast.commit(tx), naive.commit(tx), "commit count");
+                    let seq = tx.serial() + 1;
+                    assert_eq!(fast.commit(tx, seq), naive.commit(tx, seq), "commit count");
                     serials[usize::from(s)] = next_serial;
                     next_serial += 1;
                 }
@@ -585,7 +589,7 @@ fn crash_snapshot_recovers_through_ring_wrap_holes() {
                     }
                 }
                 CrashOp::Commit => {
-                    tc.commit(tx);
+                    tc.commit(tx, serial + 1);
                     journal.push(TxRecord {
                         tx,
                         commit_cycle: step as u64,

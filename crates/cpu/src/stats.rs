@@ -23,12 +23,15 @@ pub enum StallKind {
     CommitFlush,
     /// LLC fill blocked by a fully pinned set (NVLLC scheme).
     PinBlocked,
+    /// Transactional persistent store serialized behind a remote core's
+    /// active transaction that already wrote the same line.
+    Conflict,
 }
 
 impl StallKind {
     /// All stall kinds, in display order.
     #[must_use]
-    pub fn all() -> [StallKind; 6] {
+    pub fn all() -> [StallKind; 7] {
         [
             StallKind::Load,
             StallKind::StoreBufferFull,
@@ -36,6 +39,7 @@ impl StallKind {
             StallKind::TxCacheFull,
             StallKind::CommitFlush,
             StallKind::PinBlocked,
+            StallKind::Conflict,
         ]
     }
 
@@ -56,6 +60,7 @@ impl fmt::Display for StallKind {
             StallKind::TxCacheFull => "txcache-full",
             StallKind::CommitFlush => "commit-flush",
             StallKind::PinBlocked => "pin-blocked",
+            StallKind::Conflict => "conflict",
         };
         f.write_str(s)
     }
@@ -77,8 +82,14 @@ pub struct CoreStats {
     pub load_latency: Histogram,
     /// Latency of loads to the persistent (NVM) region — Figure 10.
     pub persistent_load_latency: Histogram,
+    /// Transactional stores that found a remote core's active transaction
+    /// holding the same line (each begins a conflict-serialization stall).
+    pub tx_conflicts: Counter,
+    /// Conflict stalls broken by the deadlock-avoidance rule (the lowest-
+    /// index mutually blocked core proceeds).
+    pub conflict_overrides: Counter,
     /// Cycles lost to each stall source.
-    stall_cycles: [u64; 6],
+    stall_cycles: [u64; 7],
     /// Total cycles the core was executing (set once at the end of a run).
     pub cycles: Cycle,
 }
@@ -164,6 +175,8 @@ impl ToJson for CoreStats {
             ("tx_throughput", self.tx_throughput().to_json()),
             ("load_latency", self.load_latency.to_json()),
             ("persistent_load_latency", self.persistent_load_latency.to_json()),
+            ("tx_conflicts", self.tx_conflicts.to_json()),
+            ("conflict_overrides", self.conflict_overrides.to_json()),
             ("stall_cycles", stalls),
             ("stall_fractions", stall_fractions),
         ])

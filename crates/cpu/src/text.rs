@@ -76,7 +76,7 @@ fn parse_addr(tok: &str, line: usize) -> Result<Addr, ParseTraceError> {
         line,
         message: format!("bad address `{tok}`"),
     })?;
-    if raw >= 16 << 30 {
+    if raw >= pmacc_types::ADDR_SPACE_BYTES {
         return Err(ParseTraceError {
             line,
             message: format!("address {raw:#x} outside the simulated space"),

@@ -3,7 +3,7 @@
 //! The simulated physical address space is split in two fixed regions,
 //! mirroring the hybrid DRAM + NVM memory system of the paper (Figure 1):
 //! DRAM occupies `[0, 8 GiB)` and the persistent NVM occupies
-//! `[8 GiB, 16 GiB)`. Data placed in the NVM region is *persistent*: it
+//! `[8 GiB, 24 GiB)`. Data placed in the NVM region is *persistent*: it
 //! survives a simulated crash; everything else is volatile.
 
 use core::fmt;
@@ -17,8 +17,12 @@ pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
 
 /// First byte of the persistent NVM region (8 GiB).
 const NVM_BASE: u64 = 8 << 30;
-/// One-past-last byte of the physical address space (16 GiB).
-const ADDR_END: u64 = 16 << 30;
+/// One-past-last byte of the physical address space (24 GiB). The last
+/// 8 GiB of NVM hold the cross-core shared persistent window (see
+/// [`crate::layout::shared_pool_base`]), placed after the per-core
+/// strided heap.
+pub const ADDR_SPACE_BYTES: u64 = 24 << 30;
+const ADDR_END: u64 = ADDR_SPACE_BYTES;
 
 /// Which backing memory device a physical address belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,7 +60,7 @@ impl Addr {
     ///
     /// # Panics
     ///
-    /// Panics if `raw` lies outside the 16 GiB simulated address space.
+    /// Panics if `raw` lies outside the 24 GiB simulated address space.
     #[must_use]
     pub fn new(raw: u64) -> Self {
         assert!(raw < ADDR_END, "address {raw:#x} outside simulated space");

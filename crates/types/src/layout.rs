@@ -7,7 +7,10 @@
 //! DRAM  [0,          8 GiB)   volatile heap (from VOLATILE_HEAP_BASE)
 //! NVM   [8 GiB,      +1 GiB)  per-core SP write-ahead-log areas
 //!       [9 GiB,      +1 GiB)  per-core hardware copy-on-write areas
-//!       [10 GiB,     16 GiB)  persistent heap (workload data structures)
+//!       [10 GiB,     16 GiB)  persistent heap, strided per core
+//!                             (CORE_STRIDE apart, MAX_STRIDED_CORES cores)
+//!       [16 GiB,     24 GiB)  shared persistent window (lines contended
+//!                             across cores under the sharing knob)
 //! ```
 
 use crate::addr::Addr;
@@ -52,6 +55,26 @@ pub fn persistent_heap_base() -> Addr {
     Addr::nvm_base().offset(2 << 30)
 }
 
+/// Per-core stride applied to persistent-heap and volatile-heap addresses
+/// so that cores touch disjoint lines (1 GiB apart).
+pub const CORE_STRIDE: u64 = 1 << 30;
+
+/// Number of cores the striding scheme can keep disjoint before the
+/// persistent heap would run into the shared window.
+pub const MAX_STRIDED_CORES: usize = 6;
+
+/// Start of the shared persistent window.
+///
+/// Addresses at or above this point are *not* strided per core: every
+/// core sees the same physical lines, so stores here are the one place
+/// two cores can genuinely contend for a persistent line. The workload
+/// sharing knob remaps a fraction of each core's persistent-heap lines
+/// into this window.
+#[must_use]
+pub fn shared_pool_base() -> Addr {
+    persistent_heap_base().offset(MAX_STRIDED_CORES as u64 * CORE_STRIDE)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +95,12 @@ mod tests {
         assert!(log_end <= cow_area_base(0).raw());
         let cow_end = cow_area_base(63).raw() + COW_AREA_BYTES_PER_CORE;
         assert!(cow_end <= persistent_heap_base().raw());
+        // The last strided heap image ends exactly where the shared
+        // window begins.
+        let heap_end =
+            persistent_heap_base().raw() + MAX_STRIDED_CORES as u64 * CORE_STRIDE;
+        assert_eq!(heap_end, shared_pool_base().raw());
+        assert_eq!(shared_pool_base().region(), MemRegion::Nvm);
     }
 
     #[test]

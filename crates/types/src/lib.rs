@@ -32,7 +32,9 @@ mod stats;
 mod txid;
 mod value;
 
-pub use addr::{Addr, LineAddr, MemRegion, WordAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
+pub use addr::{
+    Addr, LineAddr, MemRegion, WordAddr, ADDR_SPACE_BYTES, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES,
+};
 pub use config::{CacheConfig, CoreConfig, MachineConfig, MemConfig, NvLlcConfig, SchemeKind, TxCacheConfig};
 pub use cycle::{Cycle, Freq};
 pub use error::{ConfigError, SimError};

@@ -3,8 +3,9 @@
 use core::fmt;
 use std::str::FromStr;
 
-use pmacc_cpu::Trace;
-use pmacc_types::{ConfigError, FxHashMap, Word, WordAddr};
+use pmacc_cpu::{Op, Trace};
+use pmacc_types::rng::{splitmix64, stream_seed};
+use pmacc_types::{layout, Addr, ConfigError, FxHashMap, Word, WordAddr, LINE_BYTES};
 
 use crate::btree::BPlusTree;
 use crate::graph::AdjacencyGraph;
@@ -122,6 +123,13 @@ pub struct WorkloadParams {
     pub insert_ratio: u32,
     /// Random seed (deterministic traces).
     pub seed: u64,
+    /// Fraction of the instance's persistent-heap cache lines remapped
+    /// into a line pool *shared by every core*, in eighths (0 = fully
+    /// private, 1 = 12.5%, 2 = 25%, 4 = 50%). The remap runs after
+    /// functional generation, so structure invariants hold while the
+    /// simulated address streams of different cores collide — which is
+    /// what exercises coherence and cross-core transaction conflicts.
+    pub sharing: u8,
 }
 
 impl WorkloadParams {
@@ -137,6 +145,7 @@ impl WorkloadParams {
             // in the NV-heaps microbenchmarks.
             insert_ratio: 100,
             seed,
+            sharing: 0,
         }
     }
 
@@ -149,6 +158,7 @@ impl WorkloadParams {
             key_space: 500,
             insert_ratio: 50,
             seed,
+            sharing: 0,
         }
     }
 }
@@ -180,7 +190,7 @@ pub fn build(kind: WorkloadKind, params: &WorkloadParams) -> WorkloadTrace {
     // previous `seed ^ (kind as u64) * 0x9E37` derivation only perturbed
     // the low 16 bits, so seed pairs that differed in exactly those bits
     // could make two kinds (or two seeds of one kind) share a stream.
-    let mut s = MemSession::new(pmacc_types::rng::stream_seed(params.seed, kind as u64));
+    let mut s = MemSession::new(stream_seed(params.seed, kind as u64));
     match kind {
         WorkloadKind::Graph => {
             // The vertex-head array is the hot set; edge nodes go cold.
@@ -281,11 +291,84 @@ pub fn build(kind: WorkloadKind, params: &WorkloadParams) -> WorkloadTrace {
     }
     let (trace, initial, final_image) = s.finish();
     trace.validate().expect("generated trace is well formed");
+    if params.sharing == 0 {
+        return WorkloadTrace {
+            trace,
+            initial,
+            final_image,
+        };
+    }
+    share_lines(kind, params, trace, initial)
+}
+
+/// Applies the sharing knob: remaps the selected fraction of persistent-
+/// heap cache lines into the shared window and rebuilds the functional
+/// images to match. Runs after generation (and after the structure
+/// invariant checks), so the remap cannot perturb *what* the workload
+/// does — only where its lines live in the simulated address space.
+fn share_lines(
+    kind: WorkloadKind,
+    params: &WorkloadParams,
+    trace: Trace,
+    initial: Vec<(WordAddr, Word)>,
+) -> WorkloadTrace {
+    // Streams 0..7 seed the per-kind generators; offset by 64 to keep the
+    // remap hash independent of every generation stream.
+    let salt = stream_seed(params.seed, 64 + kind as u64);
+    let pool_lines = (params.setup_items as u64 / 4).max(64);
+    let remap = |addr: Addr| share_addr(addr, salt, params.sharing, pool_lines);
+    let trace: Trace = trace
+        .ops()
+        .iter()
+        .map(|op| match *op {
+            Op::Load { addr } => Op::Load { addr: remap(addr) },
+            Op::Store { addr, value } => Op::Store { addr: remap(addr), value },
+            Op::LogStore { addr, meta, value } => Op::LogStore { addr: remap(addr), meta, value },
+            Op::Flush { addr } => Op::Flush { addr: remap(addr) },
+            other => other,
+        })
+        .collect();
+    let initial: Vec<(WordAddr, Word)> = initial
+        .into_iter()
+        .map(|(w, v)| (remap(w.to_addr()).word(), v))
+        .collect();
+    // Distinct heap lines can land on the same pool slot (that collision
+    // is the point of the knob), so the functional final image must be
+    // recomputed by replaying the remapped stores over the remapped
+    // initial words — later writes win, exactly as in the simulator.
+    let mut final_image: FxHashMap<WordAddr, Word> = initial.iter().copied().collect();
+    for op in trace.ops() {
+        if let Op::Store { addr, value } = op {
+            final_image.insert(addr.word(), *value);
+        }
+    }
+    trace.validate().expect("remapped trace is well formed");
     WorkloadTrace {
         trace,
         initial,
         final_image,
     }
+}
+
+/// Remaps one address under the sharing knob: a persistent-heap address
+/// whose cache line hashes below the sharing fraction moves to a
+/// deterministic line of the shared pool (in-line offset preserved);
+/// every other address passes through unchanged.
+fn share_addr(addr: Addr, salt: u64, sharing: u8, pool_lines: u64) -> Addr {
+    let raw = addr.raw();
+    let heap = layout::persistent_heap_base().raw();
+    let pool = layout::shared_pool_base().raw();
+    if raw < heap || raw >= pool {
+        return addr;
+    }
+    let mut state = (raw - raw % LINE_BYTES) ^ salt;
+    let h = splitmix64(&mut state);
+    // The hash's top three bits are a uniform draw from 0..8, so exactly
+    // the configured number of eighths of the heap lines is selected.
+    if (h >> 61) >= u64::from(sharing) {
+        return addr;
+    }
+    Addr::new(pool + (h % pool_lines) * LINE_BYTES + raw % LINE_BYTES)
 }
 
 #[cfg(test)]
@@ -346,6 +429,77 @@ mod tests {
         for k in [WorkloadKind::Rbtree, WorkloadKind::Btree, WorkloadKind::Hashtable] {
             assert!(sps > stores(k), "sps should out-write {k:?}");
         }
+    }
+
+    #[test]
+    fn sharing_remaps_lines_into_the_shared_window() {
+        let mut p = WorkloadParams::tiny(9);
+        p.sharing = 4;
+        // The hashtable spans enough distinct lines that a 4/8 fraction
+        // reliably leaves lines on both sides of the split (tiny sps
+        // fits in so few lines that all of them can get remapped).
+        let w = build(WorkloadKind::Hashtable, &p);
+        assert_eq!(w.trace.transactions(), 50, "remap keeps the tx structure");
+        let pool = layout::shared_pool_base().raw();
+        let heap = layout::persistent_heap_base().raw();
+        let addr_of = |op: &Op| match *op {
+            Op::Load { addr } | Op::Store { addr, .. } | Op::Flush { addr } => Some(addr),
+            Op::LogStore { addr, .. } => Some(addr),
+            _ => None,
+        };
+        let shared = w
+            .trace
+            .ops()
+            .iter()
+            .filter_map(addr_of)
+            .filter(|a| a.raw() >= pool)
+            .count();
+        let private = w
+            .trace
+            .ops()
+            .iter()
+            .filter_map(addr_of)
+            .filter(|a| (heap..pool).contains(&a.raw()))
+            .count();
+        assert!(shared > 0, "sharing 4/8 must move some accesses");
+        assert!(private > 0, "sharing 4/8 must leave some accesses private");
+    }
+
+    #[test]
+    fn sharing_is_deterministic_and_replay_consistent() {
+        for kind in [WorkloadKind::Sps, WorkloadKind::Hashtable] {
+            let mut p = WorkloadParams::tiny(5);
+            p.sharing = 2;
+            let a = build(kind, &p);
+            let b = build(kind, &p);
+            assert_eq!(a.trace, b.trace, "{kind:?} remap must be deterministic");
+            let mut mem: FxHashMap<WordAddr, Word> = a.initial.iter().copied().collect();
+            for op in a.trace.ops() {
+                if let Op::Store { addr, value } = op {
+                    mem.insert(addr.word(), *value);
+                }
+            }
+            assert_eq!(mem, a.final_image, "{kind:?} remapped replay mismatch");
+        }
+    }
+
+    #[test]
+    fn share_addr_preserves_offsets_and_ignores_other_regions() {
+        let pool = layout::shared_pool_base();
+        let vol = pmacc_types::layout::volatile_heap_base();
+        // Volatile and already-shared addresses pass through at any fraction.
+        assert_eq!(share_addr(vol, 1, 8, 64), vol);
+        assert_eq!(share_addr(pool, 1, 8, 64), pool);
+        // Fraction 8/8 moves every heap line; the in-line offset survives.
+        let a = layout::persistent_heap_base().offset(3 * LINE_BYTES + 17);
+        let m = share_addr(a, 1, 8, 64);
+        assert!(m.raw() >= pool.raw());
+        assert_eq!(m.raw() % LINE_BYTES, 17);
+        // Both words of one line land on the same remapped line.
+        let m2 = share_addr(a.offset(8), 1, 8, 64);
+        assert_eq!(m2.line(), m.line());
+        // Fraction 0 never moves anything.
+        assert_eq!(share_addr(a, 1, 0, 64), a);
     }
 
     #[test]

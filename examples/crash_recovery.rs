@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         key_space: 4_000,
         insert_ratio: 80,
         seed: 99,
+        sharing: 0,
     };
 
     for scheme in [

@@ -61,6 +61,7 @@ fn tiny_report_json() -> Json {
 /// copying the printed inventory.
 const EXPECTED: &str = "\
 cores
+cores[].conflict_overrides
 cores[].cycles
 cores[].ipc
 cores[].load_latency
@@ -83,6 +84,7 @@ cores[].persistent_load_latency.p99
 cores[].persistent_load_latency.sum
 cores[].stall_cycles
 cores[].stall_cycles.commit-flush
+cores[].stall_cycles.conflict
 cores[].stall_cycles.fence
 cores[].stall_cycles.load
 cores[].stall_cycles.pin-blocked
@@ -90,6 +92,7 @@ cores[].stall_cycles.store-buffer-full
 cores[].stall_cycles.txcache-full
 cores[].stall_fractions
 cores[].stall_fractions.commit-flush
+cores[].stall_fractions.conflict
 cores[].stall_fractions.fence
 cores[].stall_fractions.load
 cores[].stall_fractions.pin-blocked
@@ -97,6 +100,7 @@ cores[].stall_fractions.store-buffer-full
 cores[].stall_fractions.txcache-full
 cores[].stores
 cores[].tx_committed
+cores[].tx_conflicts
 cores[].tx_throughput
 cycles
 dram
@@ -139,6 +143,14 @@ dram.writes_by_cause.recovery
 dram.writes_by_cause.tc-drain
 dropped_llc_writes
 hierarchy
+hierarchy.coherence
+hierarchy.coherence.back_invalidations
+hierarchy.coherence.bus_upgrades
+hierarchy.coherence.dirty_persistent_invalidations
+hierarchy.coherence.downgrades
+hierarchy.coherence.interventions
+hierarchy.coherence.remote_invalidations
+hierarchy.coherence.shared_fills
 hierarchy.l1
 hierarchy.l1[].accesses
 hierarchy.l1[].accesses.fraction
@@ -224,6 +236,7 @@ series.period
 series.samples
 stall_fractions
 stall_fractions.commit-flush
+stall_fractions.conflict
 stall_fractions.fence
 stall_fractions.load
 stall_fractions.pin-blocked
@@ -239,6 +252,7 @@ tc[].inserts
 tc[].overflows
 tc[].probe_hits
 tc[].probe_misses
+tc[].remote_invalidations
 tc_overflows
 throughput
 tx_committed";

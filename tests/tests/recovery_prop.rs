@@ -32,6 +32,7 @@ fn build(scheme: SchemeKind, kind: WorkloadKind, seed: u64, tiny_tc: bool) -> Sy
         key_space: 24,
         insert_ratio: 80,
         seed,
+        sharing: 0,
     };
     System::for_workload(cfg, kind, &params, &RunConfig::default()).expect("system builds")
 }

@@ -49,6 +49,7 @@ fn fuzz_check(kind: WorkloadKind, seed: u64, crash: u64) {
         key_space: 24,
         insert_ratio: 80,
         seed,
+        sharing: 0,
     };
     let mut sys = System::for_workload(cfg, kind, &params, &RunConfig::default()).unwrap();
     sys.run_until(crash).unwrap();
