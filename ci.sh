@@ -131,4 +131,32 @@ else
     rm -f "$sharing_one" "$sharing_four"
 fi
 
+# Wear-sweep gate: the quick-scale endurance experiment (workload ×
+# scheme × wear-leveling on/off, per-line wear histograms, start-gap
+# rotation counters and both lifetime projections) must emit a
+# byte-identical JSON report at --jobs 1 and --jobs 4, and that report
+# must match the checked-in baselines/wear-quick.json bit for bit —
+# which also pins the leveling-off rows to the unremapped memory path
+# (those rows must reproduce the plain per-scheme wear profile
+# exactly). A PR that changes wear modeling or timing on purpose
+# regenerates the baseline (`reproduce --quick wear --json
+# baselines/wear-quick.json`, commit the result) — or sets
+# PMACC_SKIP_WEAR=1 while iterating.
+if [[ "${PMACC_SKIP_WEAR:-0}" == "1" ]]; then
+    echo "==> wear skipped (PMACC_SKIP_WEAR=1)"
+else
+    echo "==> reproduce --quick wear (endurance sweep, jobs 1 vs 4)"
+    wear_one="$(mktemp)"
+    wear_four="$(mktemp)"
+    PMACC_JOBS=1 cargo run --release --offline -q -p pmacc-bench --bin reproduce -- \
+        --quick wear --json "$wear_one" > /dev/null
+    PMACC_JOBS=4 cargo run --release --offline -q -p pmacc-bench --bin reproduce -- \
+        --quick wear --json "$wear_four" > /dev/null
+    cmp "$wear_one" "$wear_four" \
+        || { echo "wear report differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+    cmp "$wear_four" baselines/wear-quick.json \
+        || { echo "wear report drifted from baselines/wear-quick.json" >&2; exit 1; }
+    rm -f "$wear_one" "$wear_four"
+fi
+
 echo "==> ci.sh: all green"

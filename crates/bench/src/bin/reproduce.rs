@@ -43,7 +43,7 @@ const GRID_EXPERIMENTS: [&str; 9] = [
     "energy",
     "endurance",
 ];
-const ALL_EXPERIMENTS: [&str; 21] = [
+const ALL_EXPERIMENTS: [&str; 22] = [
     "table2",
     "table3",
     "table1",
@@ -60,6 +60,7 @@ const ALL_EXPERIMENTS: [&str; 21] = [
     "mix",
     "warm",
     "sharing",
+    "wear",
     "ablation-size",
     "ablation-overflow",
     "ablation-nvm",
@@ -192,6 +193,7 @@ fn main() -> ExitCode {
             "mix" => figures::mix(scale, seed, &opts),
             "warm" => figures::warm(scale, seed, &opts),
             "sharing" => figures::sharing(scale, seed, &opts),
+            "wear" => figures::wear(scale, seed, &opts),
             "ablation-size" => figures::ablation_txcache_size(scale, seed, &opts),
             "ablation-overflow" => figures::ablation_overflow(scale, seed, &opts),
             "ablation-nvm" => figures::ablation_nvm_latency(scale, seed, &opts),

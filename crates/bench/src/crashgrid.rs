@@ -179,6 +179,12 @@ pub struct CellSpec {
     /// land inside cross-core conflict windows and the recovery oracle
     /// must merge all cores' committed state in global commit order.
     pub sharing: u8,
+    /// Run with start-gap wear leveling on (an aggressive small-region
+    /// configuration, so rotations actually fire at tiny-workload
+    /// scale): the crash snapshot then holds the NVM image in *device
+    /// row* space plus the remap registers, and recovery must
+    /// reconstruct the logical image before any scheme-level redo.
+    pub wear: bool,
 }
 
 impl CellSpec {
@@ -189,6 +195,18 @@ impl CellSpec {
         m.cores = self.cores;
         if let Some(entries) = self.tc_entries {
             m.txcache.size_bytes = entries * 64;
+        }
+        if self.wear {
+            // Small regions and a short gap interval so tiny workloads
+            // rotate every hot region several times before the crash —
+            // otherwise the remap would still be the identity and the
+            // cell would prove nothing.
+            m.nvm.wear = pmacc_types::WearConfig {
+                leveling: true,
+                region_lines: 64,
+                gap_write_interval: 8,
+                cell_write_budget: 100_000_000,
+            };
         }
         m
     }
@@ -205,7 +223,7 @@ impl CellSpec {
             && !(self.scheme == SchemeKind::Sp && self.sharing > 0)
     }
 
-    /// Stable label: `workload/scheme/cN[/tcE][/shS]`.
+    /// Stable label: `workload/scheme/cN[/tcE][/shS][/wl]`.
     #[must_use]
     pub fn label(&self) -> String {
         let mut s = format!("{}/{}/c{}", self.workload, self.scheme, self.cores);
@@ -214,6 +232,9 @@ impl CellSpec {
         }
         if self.sharing > 0 {
             s.push_str(&format!("/sh{}", self.sharing));
+        }
+        if self.wear {
+            s.push_str("/wl");
         }
         s
     }
@@ -242,6 +263,10 @@ pub struct CampaignConfig {
     /// hashtable} × sharing {2, 4} eighths on two cores, plus one
     /// Optimal control at the highest fraction.
     pub sharing_cells: bool,
+    /// Add the wear-leveling cells: TxCache/NVLLC × {sps, hashtable} on
+    /// two cores with start-gap remapping on, proving recovery
+    /// reconstructs the remap table from the crash snapshot.
+    pub wear_cells: bool,
     /// Deliberate recovery defect (mutation testing); [`Mutation::None`]
     /// in CI.
     pub mutation: Mutation,
@@ -274,6 +299,7 @@ impl CampaignConfig {
             params: WorkloadParams::tiny(seed),
             overflow_cell: true,
             sharing_cells: true,
+            wear_cells: true,
             mutation: Mutation::None,
             min_points: 360,
             stratified: 256,
@@ -298,6 +324,7 @@ impl CampaignConfig {
                         cores,
                         tc_entries: None,
                         sharing: 0,
+                        wear: false,
                     });
                 }
             }
@@ -312,6 +339,7 @@ impl CampaignConfig {
                 cores: self.core_counts.first().copied().unwrap_or(1),
                 tc_entries: Some(OVERFLOW_TC_ENTRIES),
                 sharing: 0,
+                wear: false,
             });
         }
         if self.sharing_cells {
@@ -330,6 +358,7 @@ impl CampaignConfig {
                             cores: 2,
                             tc_entries: None,
                             sharing,
+                            wear: false,
                         });
                     }
                 }
@@ -343,7 +372,28 @@ impl CampaignConfig {
                     cores: 2,
                     tc_entries: None,
                     sharing: 4,
+                    wear: false,
                 });
+            }
+        }
+        if self.wear_cells {
+            for &workload in &[WorkloadKind::Sps, WorkloadKind::Hashtable] {
+                if !self.workloads.contains(&workload) {
+                    continue;
+                }
+                for &scheme in &[SchemeKind::TxCache, SchemeKind::NvLlc] {
+                    if !self.schemes.contains(&scheme) {
+                        continue;
+                    }
+                    out.push(CellSpec {
+                        workload,
+                        scheme,
+                        cores: 2,
+                        tc_entries: None,
+                        sharing: 0,
+                        wear: true,
+                    });
+                }
             }
         }
         out
@@ -457,6 +507,8 @@ pub struct Reproducer {
     pub crash_cycle: Cycle,
     /// Recovery defect in force (`none` for a real-bug reproducer).
     pub mutation: Mutation,
+    /// Whether the cell ran with wear leveling on.
+    pub wear: bool,
 }
 
 impl Reproducer {
@@ -479,6 +531,10 @@ impl Reproducer {
         // existed still round-trip byte for byte.
         if self.params.sharing > 0 {
             fields.push(("sharing", u64::from(self.params.sharing).to_json()));
+        }
+        // Same back-compat rule as `sharing`: only emitted when set.
+        if self.wear {
+            fields.push(("wear", self.wear.to_json()));
         }
         fields.push(("crash_cycle", self.crash_cycle.to_json()));
         fields.push(("mutation", self.mutation.to_string().to_json()));
@@ -539,6 +595,12 @@ impl Reproducer {
             },
             crash_cycle: int(doc, "crash_cycle")?,
             mutation: string(doc, "mutation")?.parse()?,
+            // Absent in reproducers pinned before wear leveling existed.
+            wear: match doc.get("wear") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(other) => return Err(format!("field `wear` is not a bool: {other}")),
+            },
         })
     }
 
@@ -556,6 +618,7 @@ impl Reproducer {
             cores: self.cores,
             tc_entries: self.tc_entries,
             sharing: self.params.sharing,
+            wear: self.wear,
         };
         let mut sys = build_system(&spec, &self.params, false).map_err(|e| e.to_string())?;
         sys.run_until(self.crash_cycle).map_err(|e| e.to_string())?;
@@ -959,6 +1022,9 @@ fn minimize(
     if spec.sharing > 0 {
         variant.push_str(&format!("-sh{}", spec.sharing));
     }
+    if spec.wear {
+        variant.push_str("-wl");
+    }
     Ok(Reproducer {
         name: format!(
             "{}-{}-c{}{}-s{}-cy{}",
@@ -971,6 +1037,7 @@ fn minimize(
         params,
         crash_cycle: cycle,
         mutation: cfg.mutation,
+        wear: spec.wear,
     })
 }
 
@@ -1083,10 +1150,18 @@ mod tests {
             params: WorkloadParams::tiny(42),
             crash_cycle: 123,
             mutation: Mutation::DropCommittedTc,
+            wear: false,
         };
         let doc = Json::parse(&r.to_json().to_pretty()).unwrap();
         assert_eq!(Reproducer::from_json(&doc).unwrap(), r);
         assert!(Reproducer::from_json(&Json::obj::<String>([])).is_err());
+        // The wear flag round-trips, and (like `sharing`) is only
+        // serialized when set, so pre-wear pinned reproducers still
+        // parse byte for byte.
+        let wl = Reproducer { wear: true, ..r.clone() };
+        let doc = Json::parse(&wl.to_json().to_pretty()).unwrap();
+        assert_eq!(Reproducer::from_json(&doc).unwrap(), wl);
+        assert!(r.to_json().get("wear").is_none());
     }
 
     #[test]
@@ -1094,10 +1169,11 @@ mod tests {
         let cfg = CampaignConfig::quick(1);
         let cells = cfg.cells();
         // Cross product, the overflow cell, 2 workloads × 2 schemes × 2
-        // fractions of sharing cells, and the Optimal sharing control.
+        // fractions of sharing cells, the Optimal sharing control, and
+        // 2 workloads × 2 schemes of wear-leveling cells.
         assert_eq!(
             cells.len(),
-            SchemeKind::all().len() * WorkloadKind::all().len() * 2 + 1 + 8 + 1
+            SchemeKind::all().len() * WorkloadKind::all().len() * 2 + 1 + 8 + 1 + 4
         );
         let overflow = &cells[SchemeKind::all().len() * WorkloadKind::all().len() * 2];
         assert_eq!(overflow.tc_entries, Some(OVERFLOW_TC_ENTRIES));
@@ -1106,12 +1182,19 @@ mod tests {
         assert_eq!(sharing.len(), 9);
         assert!(sharing.iter().all(|c| c.cores == 2));
         assert_eq!(sharing.last().unwrap().scheme, SchemeKind::Optimal);
+        let wear: Vec<&CellSpec> = cells.iter().filter(|c| c.wear).collect();
+        assert_eq!(wear.len(), 4);
+        assert!(wear.iter().all(|c| c.expect_consistent()));
+        assert!(wear
+            .iter()
+            .all(|c| c.machine().nvm.wear.leveling && !c.machine().dram.wear.leveling));
         assert!(!CellSpec {
             workload: WorkloadKind::Sps,
             scheme: SchemeKind::Optimal,
             cores: 1,
             tc_entries: None,
             sharing: 0,
+            wear: false,
         }
         .expect_consistent());
         // SP under sharing is a control too: no cross-log commit order.
@@ -1121,6 +1204,7 @@ mod tests {
             cores: 2,
             tc_entries: None,
             sharing: 2,
+            wear: false,
         }
         .expect_consistent());
         assert_eq!(
@@ -1130,9 +1214,10 @@ mod tests {
                 cores: 2,
                 tc_entries: Some(4),
                 sharing: 2,
+                wear: true,
             }
             .label(),
-            "sps/tc/c2/tc4/sh2"
+            "sps/tc/c2/tc4/sh2/wl"
         );
     }
 }

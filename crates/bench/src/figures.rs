@@ -494,6 +494,209 @@ pub fn sharing(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimE
     Ok(t)
 }
 
+/// Renders a projected lifetime (seconds of simulated write rate until
+/// the hottest cell exhausts its budget) as a human-readable duration.
+/// Quick-scale projections are tiny — the *ratio between schemes* is
+/// the story, not the absolute value.
+fn fmt_lifetime(s: f64) -> String {
+    if !s.is_finite() {
+        return "-".into();
+    }
+    const YEAR: f64 = 365.25 * 86_400.0;
+    if s >= YEAR {
+        format!("{:.2} y", s / YEAR)
+    } else if s >= 86_400.0 {
+        format!("{:.2} d", s / 86_400.0)
+    } else if s >= 3_600.0 {
+        format!("{:.2} h", s / 3_600.0)
+    } else if s >= 60.0 {
+        format!("{:.2} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{:.2} s", s)
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+/// Renders a count of workload executions (the ideal-leveling lifetime
+/// projection) with an engineering suffix.
+fn fmt_runs(r: f64) -> String {
+    if !r.is_finite() {
+        return "-".into();
+    }
+    if r >= 1e9 {
+        format!("{:.1}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.1}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// Extension: NVM endurance under each scheme, with and without
+/// start-gap wear leveling. Two distinct endurance stories emerge:
+/// *total traffic* (fig9: SP's logging writes a multiple of TC's NVM
+/// traffic, so its ideal-leveled lifetime is proportionally shorter)
+/// and *concentration* (TC drains every committed store, so hot
+/// structure lines — tree roots, headers — take orders of magnitude
+/// more wear than the mean). The leveling-off rows are the ablation
+/// baseline: turning the remapper on collapses the max/mean imbalance
+/// by rotating hot lines across device rows, at the cost of the
+/// relocation writes in the `relocations` column.
+///
+/// # Errors
+///
+/// Returns the first simulation error.
+pub fn wear(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimError> {
+    use pmacc_types::WearConfig;
+    const KINDS: [WorkloadKind; 3] = [
+        WorkloadKind::Sps,
+        WorkloadKind::Rbtree,
+        WorkloadKind::Hashtable,
+    ];
+    const LEVELS: [bool; 2] = [false, true];
+    let budget = WearConfig::start_gap().cell_write_budget;
+    // Tighter rotation than the `start_gap()` defaults: these runs are
+    // short, and the gap must sweep each region several times before the
+    // run ends for the ablation to show — a hot line only sheds wear
+    // when the gap passes it, once per `region_lines *
+    // gap_write_interval` region writes.
+    let leveled = WearConfig {
+        leveling: true,
+        region_lines: 32,
+        gap_write_interval: 4,
+        cell_write_budget: budget,
+    };
+    let mut keys = Vec::new();
+    for kind in KINDS {
+        for leveling in LEVELS {
+            for scheme in SchemeKind::all() {
+                keys.push((kind, leveling, scheme));
+            }
+        }
+    }
+    let jobs: Vec<Job<Result<RunReport, SimError>>> = keys
+        .iter()
+        .map(|&(kind, leveling, scheme)| {
+            let mut machine = scale.machine().with_scheme(scheme);
+            if leveling {
+                machine.nvm.wear = leveled;
+            }
+            let params = scale.params(seed);
+            let lvl = if leveling { "on" } else { "off" };
+            Job::new(format!("wear/{kind}/wl-{lvl}/{scheme}"), move || {
+                System::for_workload(machine, kind, &params, &RunConfig::default())?.run()
+            })
+        })
+        .collect();
+    let reports = pool::run_jobs(jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("cell {} (seed {seed}) panicked: {}", p.label, p.message));
+    let mut results = std::collections::BTreeMap::new();
+    for (key, report) in keys.iter().zip(reports) {
+        results.insert(*key, report?);
+    }
+    let mut t = FigTable::new(
+        "Extension: wear",
+        "NVM endurance and start-gap wear leveling, per scheme",
+        format!(
+            "Device writes per line with wear leveling off vs on \
+             (start-gap, {} lines per region, gap rotation every {} \
+             demand writes). Imbalance = max/mean writes-per-line — the \
+             off rows are the ablation baseline the leveler collapses. \
+             Hot-line lifetime extrapolates the hottest line's measured \
+             write rate against a {budget}-write cell budget; leveled \
+             lifetime is the ideal-leveling bound in workload \
+             executions (budget x footprint / write traffic), so its \
+             ratio between schemes is fig9's NVM-write ratio. \
+             Relocations are the leveler's own copy writes.",
+            leveled.region_lines, leveled.gap_write_interval,
+        ),
+        vec![
+            "workload".into(),
+            "scheme".into(),
+            "leveling".into(),
+            "NVM writes".into(),
+            "max w/line".into(),
+            "p99 w/line".into(),
+            "mean w/line".into(),
+            "imbalance".into(),
+            "relocations".into(),
+            "hot-line lifetime".into(),
+            "leveled lifetime (runs)".into(),
+        ],
+    );
+    let lvl_label = |l: bool| if l { "on" } else { "off" };
+    let hot_lifetime = |r: &RunReport| {
+        pmacc_mem::projected_lifetime_seconds(
+            r.nvm.max_writes_per_line(),
+            r.cycles,
+            pmacc_types::Freq::default(),
+            budget,
+        )
+    };
+    for kind in KINDS {
+        for leveling in LEVELS {
+            for scheme in SchemeKind::all() {
+                let r = &results[&(kind, leveling, scheme)];
+                t.push_row(vec![
+                    kind.to_string(),
+                    scheme_label(scheme).into(),
+                    lvl_label(leveling).into(),
+                    r.nvm.writes().to_string(),
+                    r.nvm.max_writes_per_line().to_string(),
+                    r.nvm.p99_writes_per_line().to_string(),
+                    format!("{:.2}", r.nvm.mean_writes_per_line()),
+                    format!("{:.1}", r.nvm.wear_imbalance()),
+                    r.nvm.relocation_writes.value().to_string(),
+                    fmt_lifetime(hot_lifetime(r)),
+                    fmt_runs(pmacc_mem::projected_lifetime_runs(
+                        r.nvm.writes(),
+                        r.nvm.lines_written(),
+                        budget,
+                    )),
+                ]);
+            }
+        }
+    }
+    // Per-scheme means across workloads: the lifetime delta between
+    // schemes (and the off→on imbalance collapse) at a glance. The
+    // leveled-lifetime mean pools traffic and footprint across
+    // workloads rather than averaging ratios.
+    for leveling in LEVELS {
+        for scheme in SchemeKind::all() {
+            let (mut writes, mut lines, mut max_w) = (0u64, 0u64, 0u64);
+            let (mut imb, mut life) = (0.0f64, 0.0f64);
+            for kind in KINDS {
+                let r = &results[&(kind, leveling, scheme)];
+                writes += r.nvm.writes();
+                lines += r.nvm.lines_written();
+                max_w = max_w.max(r.nvm.max_writes_per_line());
+                imb += r.nvm.wear_imbalance();
+                life += hot_lifetime(r);
+            }
+            let n = KINDS.len() as f64;
+            t.push_row(vec![
+                "**mean**".into(),
+                scheme_label(scheme).into(),
+                lvl_label(leveling).into(),
+                writes.to_string(),
+                max_w.to_string(),
+                "-".into(),
+                "-".into(),
+                format!("{:.1}", imb / n),
+                "-".into(),
+                fmt_lifetime(life / n),
+                fmt_runs(pmacc_mem::projected_lifetime_runs(writes, lines, budget)),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
 /// Extension: the grid measured after a cache warm-up (the first quarter
 /// of each run's transactions excluded from statistics). Contrast with
 /// the cold-start figures: warm LLC miss rates expose the NVLLC pinning

@@ -76,7 +76,13 @@ impl ToJson for GridResults {
 /// - `ipc/<scheme>/<workload>` — absolute per-cell IPC;
 /// - `stall_frac/<scheme>/<kind>` — per-cause stall fraction averaged
 ///   over workloads (the §5.2 "TC never stalls commits" claim is
-///   `stall_frac/tc/txcache-full`).
+///   `stall_frac/tc/txcache-full`);
+/// - `wear/<scheme>/{max_wpl,p99_wpl,mean_wpl,imbalance}` — NVM
+///   endurance summary over the whole grid: worst-case and p99
+///   writes-per-line maxed over workloads, mean writes-per-line and
+///   max/mean imbalance averaged over workloads. These gate wear drift
+///   by name: a scheme that suddenly hammers one line moves
+///   `wear/<scheme>/imbalance` even when total traffic (fig9) holds.
 ///
 /// Counters (integers, tolerance [`COUNTER_REL_TOL`]):
 ///
@@ -111,8 +117,13 @@ pub fn key_metrics(grid: &GridResults) -> MetricsRegistry {
                 / WorkloadKind::all().len() as f64;
             reg.gauge_set(&format!("stall_frac/{scheme}/{kind}"), mean);
         }
+        let (mut max_wpl, mut p99_wpl, mut mean_wpl, mut imbalance) = (0u64, 0u64, 0.0, 0.0);
         for workload in WorkloadKind::all() {
             let report = grid.get(workload, scheme);
+            max_wpl = max_wpl.max(report.nvm.max_writes_per_line());
+            p99_wpl = p99_wpl.max(report.nvm.p99_writes_per_line());
+            mean_wpl += report.nvm.mean_writes_per_line();
+            imbalance += report.nvm.wear_imbalance();
             reg.gauge_set(&format!("ipc/{scheme}/{workload}"), report.ipc());
             reg.counter_add(&format!("cycles/{scheme}"), report.cycles);
             reg.counter_add(&format!("tc_overflows/{scheme}"), report.tc_overflows());
@@ -124,6 +135,11 @@ pub fn key_metrics(grid: &GridResults) -> MetricsRegistry {
                 );
             }
         }
+        let cells = WorkloadKind::all().len() as f64;
+        reg.gauge_set(&format!("wear/{scheme}/max_wpl"), max_wpl as f64);
+        reg.gauge_set(&format!("wear/{scheme}/p99_wpl"), p99_wpl as f64);
+        reg.gauge_set(&format!("wear/{scheme}/mean_wpl"), mean_wpl / cells);
+        reg.gauge_set(&format!("wear/{scheme}/imbalance"), imbalance / cells);
     }
     reg
 }

@@ -11,7 +11,7 @@
 use core::fmt;
 use std::collections::HashMap;
 
-use pmacc_mem::Backing;
+use pmacc_mem::{Backing, WearSnapshot};
 use pmacc_types::{layout, Cycle, FxHashMap, SchemeKind, TxId, Word, WordAddr};
 
 use crate::scheme::sp::{self, LogElem};
@@ -53,8 +53,17 @@ pub struct CrashState {
     pub scheme: SchemeKind,
     /// Core count.
     pub cores: usize,
-    /// Durable NVM image at the crash.
+    /// Durable NVM image at the crash. With wear leveling off this is
+    /// in logical line space; with leveling on it is in *device row*
+    /// space — exactly what the cells physically hold — and
+    /// [`CrashState::logical_nvm`] must invert the remap before any
+    /// scheme-level recovery.
     pub nvm: Backing,
+    /// The wear remapper's nonvolatile registers (per-region start/gap),
+    /// captured at the crash; `None` when leveling is off. Real
+    /// start-gap hardware keeps these registers in NVM for precisely
+    /// this reason: without them the device image is unreadable.
+    pub wear: Option<WearSnapshot>,
     /// NVM image at simulation start (for the checker's replay).
     pub initial_nvm: Backing,
     /// Per-core transaction-cache contents (STT-RAM), FIFO order.
@@ -71,6 +80,20 @@ pub struct CrashState {
     /// became durable but `TX_END` had not retired — or not at all;
     /// recovering it partially is an atomicity violation.
     pub in_flight: Vec<Option<TxRecord>>,
+}
+
+impl CrashState {
+    /// The durable NVM image in *logical* line space: reconstructs the
+    /// remap from the wear snapshot's registers and inverts it, or
+    /// returns the image as-is when leveling was off. This is the first
+    /// step of every recovery procedure under wear leveling.
+    #[must_use]
+    pub fn logical_nvm(&self) -> Backing {
+        match &self.wear {
+            Some(snap) => snap.to_logical(&self.nvm),
+            None => self.nvm.clone(),
+        }
+    }
 }
 
 /// Runs the scheme's recovery procedure, returning the recovered NVM image.
@@ -97,7 +120,7 @@ pub struct CrashState {
 /// ```
 #[must_use]
 pub fn recover(state: &CrashState) -> Backing {
-    let mut nvm = state.nvm.clone();
+    let mut nvm = state.logical_nvm();
     match state.scheme {
         SchemeKind::Optimal => {
             // No persistence support: whatever reached the NVM is all
@@ -207,8 +230,13 @@ pub fn recovery_cost(
     match state.scheme {
         SchemeKind::Optimal => {}
         SchemeKind::Sp => {
+            // The log walk reads logical addresses, so under wear
+            // leveling the image is un-remapped first (the cost of that
+            // register-driven translation is not charged — it is pure
+            // address arithmetic, not device traffic).
+            let nvm = state.logical_nvm();
             for core in 0..state.cores {
-                let elems = sp::parse_log(core, &|w| state.nvm.read_word(w));
+                let elems = sp::parse_log(core, &|w| nvm.read_word(w));
                 let mut committed = Vec::new();
                 for e in &elems {
                     match e {
@@ -391,6 +419,7 @@ mod tests {
             scheme,
             cores: 1,
             nvm: Backing::new(),
+            wear: None,
             initial_nvm: Backing::new(),
             txcaches: vec![Vec::new()],
             nv_llc_committed: FxHashMap::default(),
@@ -541,6 +570,44 @@ mod tests {
         let c = recovery_cost(&nv, &machine);
         assert_eq!(c.words_replayed, 0);
         assert_eq!(c.words_scanned, machine.llc.lines());
+    }
+
+    #[test]
+    fn recovery_inverts_the_wear_remap() {
+        use pmacc_mem::WearMap;
+        use pmacc_types::WearConfig;
+        let mut st = base_state(SchemeKind::Optimal);
+        // Rotate a small region through a full start-gap cycle so the
+        // mapping is a genuine shift (every line on a different row).
+        let mut m = WearMap::new(&WearConfig {
+            leveling: true,
+            region_lines: 8,
+            gap_write_interval: 1,
+            cell_write_budget: 1_000,
+        });
+        for i in 0..9 {
+            m.record_write(heap_word(i).line());
+        }
+        let snap = m.snapshot();
+        // The logical image the crash should recover to...
+        let mut logical = Backing::new();
+        logical.write_word(heap_word(0), 42);
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 0),
+            commit_cycle: 10,
+            writes: vec![(heap_word(0), 42)],
+        });
+        // ...is durably stored on device rows.
+        st.nvm = snap.to_device(&logical);
+        st.wear = Some(snap);
+        assert_ne!(
+            st.nvm.read_word(heap_word(0)),
+            42,
+            "the device image really is remapped"
+        );
+        let rec = recover(&st);
+        assert_eq!(rec.read_word(heap_word(0)), 42);
+        check_recovery(&st, &rec).unwrap();
     }
 
     #[test]

@@ -971,13 +971,24 @@ impl System {
     /// power failure: the NVM image, the STT-RAM transaction caches, the
     /// NVLLC committed-line image and the COW areas — together with the
     /// golden journal the checker compares against.
+    ///
+    /// With wear leveling on, the NVM image is stored in *device row*
+    /// space (translated through the remapper's current registers) plus
+    /// the register snapshot itself — exactly what the hardware keeps —
+    /// so recovery genuinely has to reconstruct the remap to read it.
     #[must_use]
     pub fn crash_state(&self) -> CrashState {
+        let wear = self.nvm.wear_snapshot();
+        let nvm = match &wear {
+            Some(snap) => snap.to_device(&self.nvm_backing),
+            None => self.nvm_backing.clone(),
+        };
         CrashState {
             cycle: self.clock,
             scheme: self.cfg.scheme,
             cores: self.cfg.cores,
-            nvm: self.nvm_backing.clone(),
+            nvm,
+            wear,
             initial_nvm: self.initial_nvm.clone(),
             txcaches: self.tcs.iter().map(|t| t.entries_fifo()).collect(),
             nv_llc_committed: self.nv_llc_committed.clone(),

@@ -649,6 +649,7 @@ fn crash_snapshot_recovers_through_ring_wrap_holes() {
                 scheme: pmacc_types::SchemeKind::TxCache,
                 cores: 1,
                 nvm: nvm.clone(),
+                wear: None,
                 initial_nvm: pmacc_mem::Backing::new(),
                 txcaches: vec![snapshot],
                 nv_llc_committed: pmacc_types::FxHashMap::default(),

@@ -9,6 +9,7 @@ use pmacc_types::{AccessKind, Cycle, Freq, FxHashMap, MemConfig, MemRegion, MemR
 use crate::bank::{AddressMap, BankState};
 use crate::scheduler::SchedPolicy;
 use crate::stats::MemStats;
+use crate::wear::{WearMap, WearSnapshot};
 
 /// A finished memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,13 @@ pub struct MemController {
     /// Statistics (public so the system layer can fold them into reports).
     pub stats: MemStats,
     freq: Freq,
+    /// Start-gap wear-leveling remapper, present when
+    /// [`pmacc_types::WearConfig::leveling`] is on. Queues and
+    /// coalescing stay in logical line space; translation to device
+    /// rows happens at issue time, so with leveling off this field is
+    /// `None` and every code path is byte-identical to the unleveled
+    /// controller.
+    wear: Option<WearMap>,
 }
 
 impl MemController {
@@ -111,9 +119,22 @@ impl MemController {
             read_ns: cfg.read_ns,
             write_ns: cfg.write_ns,
             stats: MemStats::new(),
+            wear: if cfg.wear.leveling {
+                Some(WearMap::new(&cfg.wear))
+            } else {
+                None
+            },
             cfg,
             freq: Freq::default(),
         }
+    }
+
+    /// The wear remapper's crash-durable registers, when leveling is on.
+    /// Recovery uses this to reconstruct the logical image from the
+    /// device image a crash leaves behind.
+    #[must_use]
+    pub fn wear_snapshot(&self) -> Option<WearSnapshot> {
+        self.wear.as_ref().map(WearMap::snapshot)
     }
 
     /// The memory region this channel backs.
@@ -283,8 +304,26 @@ impl MemController {
             AccessKind::Read => self.read_q.remove(idx).expect("index from pick"),
             AccessKind::Write => self.write_q.remove(idx).expect("index from pick"),
         };
-        let bank = self.map.bank(req.addr);
-        let row = self.map.row(req.addr);
+        // With wear leveling on, the device row a request actually hits
+        // goes through the start-gap remap; demand writes also advance
+        // the gap counter and may trigger a rotation, whose one-line
+        // copy is charged to the wear profile (no timing perturbation —
+        // the paper's controller hides rotation copies in idle slots).
+        let dev = match (&mut self.wear, kind) {
+            (Some(w), AccessKind::Write) => {
+                let m = w.record_write(req.addr);
+                if let Some(target) = m.relocated {
+                    self.stats.gap_rotations.inc();
+                    self.stats.relocation_writes.inc();
+                    self.stats.record_write_line(target);
+                }
+                m.device
+            }
+            (Some(w), AccessKind::Read) => w.device_line(req.addr),
+            (None, _) => req.addr,
+        };
+        let bank = self.map.bank(dev);
+        let row = self.map.row(dev);
         let row_hit = self.banks[bank].is_row_hit(row);
         self.stats.row_hits.record(row_hit);
         if self.drain_mode && kind == AccessKind::Write {
@@ -316,7 +355,7 @@ impl MemController {
             AccessKind::Write => {
                 let cause = req.cause.expect("writes carry a cause");
                 self.stats.record_write(cause, latency);
-                self.stats.record_write_line(req.addr);
+                self.stats.record_write_line(dev);
             }
         }
         self.seq += 1;
@@ -529,6 +568,47 @@ mod tests {
         let done = c.advance(135);
         assert_eq!(done.len(), 1);
         assert_eq!(c.next_wake(), None);
+    }
+
+    #[test]
+    fn wear_leveling_spreads_a_hot_line_over_device_rows() {
+        use pmacc_types::WearConfig;
+        let mut cfg = MemConfig::nvm_dac17();
+        cfg.wear = WearConfig {
+            leveling: true,
+            region_lines: 8,
+            gap_write_interval: 2,
+            cell_write_budget: 1_000,
+        };
+        let mut c = MemController::new(MemRegion::Nvm, cfg, SchedPolicy::FrFcfs);
+        // Hammer one logical line; without leveling this is one device
+        // row taking all 40 writes.
+        for i in 0..40u64 {
+            c.enqueue(
+                MemReq::write(ReqId(i), nvm_line(0), None, WriteCause::Eviction),
+                i * 1_000,
+            )
+            .unwrap();
+            let _ = c.advance((i + 1) * 1_000);
+        }
+        let _ = c.advance(1_000_000);
+        assert_eq!(c.stats.gap_rotations.value(), 20, "rotate every 2 writes");
+        assert_eq!(
+            c.stats.relocation_writes.value(),
+            c.stats.gap_rotations.value()
+        );
+        assert!(
+            c.stats.writes_per_line.len() > 1,
+            "the hot line visits several device rows"
+        );
+        assert!(c.stats.max_writes_per_line() < 40);
+        assert!(c.wear_snapshot().is_some());
+    }
+
+    #[test]
+    fn leveling_off_has_no_wear_state() {
+        let c = ctrl();
+        assert!(c.wear_snapshot().is_none());
     }
 
     #[test]

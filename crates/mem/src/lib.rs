@@ -35,9 +35,13 @@ mod bank;
 mod controller;
 mod scheduler;
 mod stats;
+mod wear;
 
 pub use backing::Backing;
 pub use bank::{AddressMap, BankId, BankState};
 pub use controller::{Completion, EnqueueFullError, MemController};
 pub use scheduler::SchedPolicy;
-pub use stats::MemStats;
+pub use stats::{MemStats, WEAR_DETAIL_MAX_LINES};
+pub use wear::{
+    projected_lifetime_runs, projected_lifetime_seconds, WearMap, WearSnapshot, WriteMapping,
+};

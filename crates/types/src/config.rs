@@ -153,6 +153,86 @@ impl CacheConfig {
     }
 }
 
+/// NVM endurance model and start-gap wear-leveling knobs.
+///
+/// Leveling is **off by default** so every existing configuration and
+/// checked-in baseline is bit-for-bit unchanged; turning it on inserts a
+/// region-based start-gap remapper between line addresses and device
+/// rows (see `pmacc-mem`'s `wear` module for the mapping math).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearConfig {
+    /// Whether the start-gap remapper is active.
+    pub leveling: bool,
+    /// Lines per leveling region (the remapper rotates each region's
+    /// gap independently; one spare device row per region).
+    pub region_lines: u64,
+    /// Demand writes to a region between gap rotations (the start-gap
+    /// ψ parameter).
+    pub gap_write_interval: u64,
+    /// Cell lifetime budget in writes — how many times one NVM line can
+    /// be rewritten before it is considered worn out. 10^8 is the
+    /// conventional STT-RAM/PCM planning figure.
+    pub cell_write_budget: u64,
+}
+
+impl WearConfig {
+    /// Wear modeling only: the per-line write profile and lifetime
+    /// projection are recorded, but no remapping happens (the default).
+    #[must_use]
+    pub fn modeling_only() -> Self {
+        WearConfig {
+            leveling: false,
+            ..WearConfig::start_gap()
+        }
+    }
+
+    /// Start-gap wear-leveling enabled with simulation-scale defaults:
+    /// 256-line regions rotating every 64 demand writes. Real hardware
+    /// uses far larger regions and intervals; at the reproduction's run
+    /// lengths those would never rotate, so the defaults are scaled the
+    /// same way the LLC capacity is (see `EXPERIMENTS.md`).
+    #[must_use]
+    pub fn start_gap() -> Self {
+        WearConfig {
+            leveling: true,
+            region_lines: 256,
+            gap_write_interval: 64,
+            cell_write_budget: 100_000_000,
+        }
+    }
+
+    /// Checks the leveling geometry is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when leveling is enabled with a degenerate
+    /// region size or rotation interval, or the write budget is zero.
+    pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
+        if self.cell_write_budget == 0 {
+            return Err(ConfigError::new(format!("{name}: zero cell write budget")));
+        }
+        if self.leveling {
+            if self.region_lines < 2 {
+                return Err(ConfigError::new(format!(
+                    "{name}: leveling regions need at least 2 lines"
+                )));
+            }
+            if self.gap_write_interval == 0 {
+                return Err(ConfigError::new(format!(
+                    "{name}: zero gap rotation interval"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for WearConfig {
+    fn default() -> Self {
+        WearConfig::modeling_only()
+    }
+}
+
 /// Geometry, timing and scheduling of one memory channel (paper Table 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemConfig {
@@ -180,6 +260,9 @@ pub struct MemConfig {
     /// Data-bus occupancy per transfer in nanoseconds (serializes the
     /// channel even when banks overlap).
     pub bus_ns: f64,
+    /// Endurance model and wear-leveling (off by default; only
+    /// meaningful on the NVM channel).
+    pub wear: WearConfig,
 }
 
 impl MemConfig {
@@ -200,6 +283,7 @@ impl MemConfig {
             row_hit_ns: 32.0,
             lines_per_row: 32, // 2 KiB rows
             bus_ns: 4.0,
+            wear: WearConfig::modeling_only(),
         }
     }
 
@@ -231,6 +315,7 @@ impl MemConfig {
             row_hit_ns: 15.0,
             lines_per_row: 32,
             bus_ns: 4.0,
+            wear: WearConfig::modeling_only(),
         }
     }
 
@@ -264,6 +349,7 @@ impl MemConfig {
         if self.lines_per_row == 0 {
             return Err(ConfigError::new(format!("{name}: zero lines per row")));
         }
+        self.wear.validate(name)?;
         Ok(())
     }
 }
@@ -628,6 +714,34 @@ mod tests {
     fn mem_validation_rejects_bad_watermarks() {
         let mut m = MemConfig::nvm_dac17();
         m.drain_low = 0.9;
+        assert!(m.validate("nvm").is_err());
+    }
+
+    #[test]
+    fn wear_defaults_off_and_validates() {
+        let w = WearConfig::default();
+        assert!(!w.leveling, "leveling must default off");
+        assert!(w.validate("nvm").is_ok());
+        let sg = WearConfig::start_gap();
+        assert!(sg.leveling);
+        assert!(sg.validate("nvm").is_ok());
+        let mut bad = sg;
+        bad.region_lines = 1;
+        assert!(bad.validate("nvm").is_err());
+        bad = sg;
+        bad.gap_write_interval = 0;
+        assert!(bad.validate("nvm").is_err());
+        bad = sg;
+        bad.cell_write_budget = 0;
+        assert!(bad.validate("nvm").is_err());
+    }
+
+    #[test]
+    fn mem_validation_covers_wear() {
+        let mut m = MemConfig::nvm_dac17();
+        m.wear = WearConfig::start_gap();
+        assert!(m.validate("nvm").is_ok());
+        m.wear.region_lines = 0;
         assert!(m.validate("nvm").is_err());
     }
 

@@ -35,7 +35,7 @@ mod value;
 pub use addr::{
     Addr, LineAddr, MemRegion, WordAddr, ADDR_SPACE_BYTES, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES,
 };
-pub use config::{CacheConfig, CoreConfig, MachineConfig, MemConfig, NvLlcConfig, SchemeKind, TxCacheConfig};
+pub use config::{CacheConfig, CoreConfig, MachineConfig, MemConfig, NvLlcConfig, SchemeKind, TxCacheConfig, WearConfig};
 pub use cycle::{Cycle, Freq};
 pub use error::{ConfigError, SimError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

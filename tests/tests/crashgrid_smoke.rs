@@ -70,6 +70,14 @@ fn quick_campaign_is_dense_and_consistent_across_all_schemes() {
             );
         }
     }
+    // The wear-leveling cells are present (TC and NVLLC, two workloads)
+    // and clean: recovery reconstructed the remap table from the crash
+    // snapshot at every point — their violations are counted in the
+    // per-cell loop above like any expect-consistent cell.
+    let wear_cells: Vec<_> = report.cells.iter().filter(|c| c.spec.wear).collect();
+    assert_eq!(wear_cells.len(), 4, "wear-leveling cells missing");
+    assert!(wear_cells.iter().all(|c| c.expect_consistent));
+
     // The checker has teeth: the Optimal control must trip it somewhere.
     assert!(
         report.control_detections() > 0,

@@ -107,10 +107,22 @@ dram
 dram.coalesced_writes
 dram.drain_issues
 dram.endurance
+dram.endurance.gap_rotations
+dram.endurance.histogram
+dram.endurance.histogram.buckets
+dram.endurance.histogram.count
+dram.endurance.histogram.max
+dram.endurance.histogram.mean
+dram.endurance.histogram.sum
 dram.endurance.hottest_line
 dram.endurance.hottest_line_writes
+dram.endurance.imbalance
+dram.endurance.lines
 dram.endurance.lines_written
+dram.endurance.max_writes_per_line
 dram.endurance.mean_writes_per_line
+dram.endurance.p99_writes_per_line
+dram.endurance.relocation_writes
 dram.read_latency
 dram.read_latency.buckets
 dram.read_latency.count
@@ -190,10 +202,22 @@ nvm
 nvm.coalesced_writes
 nvm.drain_issues
 nvm.endurance
+nvm.endurance.gap_rotations
+nvm.endurance.histogram
+nvm.endurance.histogram.buckets
+nvm.endurance.histogram.count
+nvm.endurance.histogram.max
+nvm.endurance.histogram.mean
+nvm.endurance.histogram.sum
 nvm.endurance.hottest_line
 nvm.endurance.hottest_line_writes
+nvm.endurance.imbalance
+nvm.endurance.lines
 nvm.endurance.lines_written
+nvm.endurance.max_writes_per_line
 nvm.endurance.mean_writes_per_line
+nvm.endurance.p99_writes_per_line
+nvm.endurance.relocation_writes
 nvm.read_latency
 nvm.read_latency.buckets
 nvm.read_latency.count
