@@ -106,11 +106,12 @@ fi
 
 # Sharing-sweep gate: the quick-scale cross-core sharing experiment
 # (workload × sharing-fraction × scheme, MESI coherence traffic and
-# conflict counters) must emit a byte-identical JSON report at --jobs 1
-# and --jobs 4, and that report must match the checked-in
-# baselines/sharing-quick.json bit for bit — which also pins the
-# coherence layer inert at fraction 0 (those rows reproduce the private
-# per-scheme numbers exactly). A PR that changes coherence or timing on
+# conflict counters, plus the 16-core directory-stress cells that keep
+# the LLC sharer-bitmap honest at high core counts) must emit a
+# byte-identical JSON report at --jobs 1 and --jobs 4, and that report
+# must match the checked-in baselines/sharing-quick.json bit for bit —
+# which also pins the coherence layer inert at fraction 0 (those rows
+# reproduce the private per-scheme numbers exactly). A PR that changes coherence or timing on
 # purpose regenerates the baseline (`reproduce --quick sharing --json
 # baselines/sharing-quick.json`, commit the result) — or sets
 # PMACC_SKIP_SHARING=1 while iterating.

@@ -150,6 +150,50 @@ fn bench_hasher(c: &mut Harness) {
     g.finish();
 }
 
+fn bench_engine(c: &mut Harness) {
+    // The skip-ahead event engine end to end: a whole small-machine run,
+    // reported per event processed via the engine counters. The serve
+    // variant idles between Poisson-ish arrivals, so most of its
+    // simulated time is exactly the idle the engine must make free.
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(3);
+    let build = |scheme: SchemeKind| {
+        let machine = pmacc_types::MachineConfig::small().with_scheme(scheme);
+        let params = pmacc_workloads::WorkloadParams {
+            num_ops: 400,
+            setup_items: 200,
+            key_space: 512,
+            insert_ratio: 60,
+            seed: 42,
+            sharing: 0,
+        };
+        pmacc::System::for_workload(machine, WorkloadKind::Sps, &params, &Default::default())
+            .expect("system builds")
+    };
+    g.bench_function("small_sps_run_events", |b| {
+        b.iter(|| {
+            let mut sys = build(SchemeKind::TxCache);
+            let r = sys.run().expect("runs");
+            (r.engine.events_processed, r.engine.idle_cycles_skipped)
+        });
+    });
+    g.bench_function("small_sps_stepped_1k", |b| {
+        // The crash-sweep pattern: many short run_until() slices, each
+        // scheduling its own clock-only wake.
+        b.iter(|| {
+            let mut sys = build(SchemeKind::Sp);
+            let mut at = 0u64;
+            for _ in 0..1_000 {
+                at += 997;
+                sys.run_until(at).expect("slice runs");
+            }
+            let r = sys.run().expect("finishes");
+            r.engine.events_processed
+        });
+    });
+    g.finish();
+}
+
 fn bench_full_cell(c: &mut Harness) {
     // One whole quick-scale grid cell, the unit the reproduction sweeps
     // ~89 of: the end-to-end number every structural optimization above
@@ -175,4 +219,4 @@ fn bench_full_cell(c: &mut Harness) {
     g.finish();
 }
 
-bench_main!(bench_txcache_hot, bench_backing, bench_hasher, bench_full_cell);
+bench_main!(bench_txcache_hot, bench_backing, bench_hasher, bench_engine, bench_full_cell);

@@ -421,11 +421,44 @@ pub fn sharing(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimE
     for (key, report) in keys.iter().zip(reports) {
         results.insert(*key, report?);
     }
+    // Directory-stress subsection: the same sweep's SPS workload at 16
+    // cores, where the LLC sharer-bitmap directory is what keeps snoops
+    // O(sharers) instead of O(cores). Two fractions bracket the range
+    // (private vs heavily shared); every scheme runs so the normalized
+    // IPC column has its own 16-core Optimal base.
+    const DIR_CORES: usize = 16;
+    const DIR_FRACTIONS: [u8; 2] = [0, 4];
+    let mut dir_keys = Vec::new();
+    for fraction in DIR_FRACTIONS {
+        for scheme in SchemeKind::all() {
+            dir_keys.push((fraction, scheme));
+        }
+    }
+    let dir_jobs: Vec<Job<Result<RunReport, SimError>>> = dir_keys
+        .iter()
+        .map(|&(fraction, scheme)| {
+            let mut machine = scale.machine().with_scheme(scheme);
+            machine.cores = DIR_CORES;
+            let mut params = scale.params(seed);
+            params.sharing = fraction;
+            Job::new(format!("sharing/sps16/sh{fraction}/{scheme}"), move || {
+                System::for_workload(machine, WorkloadKind::Sps, &params, &RunConfig::default())?
+                    .run()
+            })
+        })
+        .collect();
+    let dir_reports = pool::run_jobs(dir_jobs, opts.jobs, opts.progress)
+        .unwrap_or_else(|p| panic!("cell {} (seed {seed}) panicked: {}", p.label, p.message));
+    let mut dir_results = std::collections::BTreeMap::new();
+    for (key, report) in dir_keys.iter().zip(dir_reports) {
+        dir_results.insert(*key, report?);
+    }
     let mut t = FigTable::new(
         "Extension: sharing",
-        "Scaling across shared-line fractions (4 cores)",
-        "IPC normalized to Optimal on the same workload and fraction; \
-         conflict columns are raw event counts summed over cores.",
+        "Scaling across shared-line fractions (4 cores; sps also at 16)",
+        "IPC normalized to Optimal on the same workload, fraction and \
+         core count; conflict columns are raw event counts summed over \
+         cores.",
         vec![
             "workload".into(),
             "sharing".into(),
@@ -488,6 +521,24 @@ pub fn sharing(scale: Scale, seed: u64, opts: &Options) -> Result<FigTable, SimE
                 inv.to_string(),
                 fills.to_string(),
                 tcr.to_string(),
+            ]);
+        }
+    }
+    // 16-core directory-stress rows.
+    for fraction in DIR_FRACTIONS {
+        let base = &dir_results[&(fraction, SchemeKind::Optimal)];
+        for scheme in SchemeKind::all() {
+            let r = &dir_results[&(fraction, scheme)];
+            t.push_row(vec![
+                "sps (16c)".into(),
+                fraction_label(fraction).into(),
+                scheme_label(scheme).into(),
+                norm(if base.ipc() == 0.0 { 0.0 } else { r.ipc() / base.ipc() }),
+                conflicts(r).to_string(),
+                format!("{:.4}%", r.stall_fraction(StallKind::Conflict) * 100.0),
+                r.hierarchy.coherence.remote_invalidations.value().to_string(),
+                r.hierarchy.coherence.shared_fills.value().to_string(),
+                tc_remote(r).to_string(),
             ]);
         }
     }

@@ -128,6 +128,22 @@ pub fn key_metrics(grid: &GridResults) -> MetricsRegistry {
             reg.counter_add(&format!("cycles/{scheme}"), report.cycles);
             reg.counter_add(&format!("tc_overflows/{scheme}"), report.tc_overflows());
             reg.histogram_record("cell_cycles", report.cycles);
+            // Simulator-effort counters: a scheduling bug that leaves
+            // results identical but doubles the event count is still a
+            // regression, so the gate pins these too.
+            reg.counter_add(&format!("engine/{scheme}/events"), report.engine.events_processed);
+            reg.counter_add(
+                &format!("engine/{scheme}/wakes_scheduled"),
+                report.engine.wakes_scheduled,
+            );
+            reg.counter_add(
+                &format!("engine/{scheme}/wakes_coalesced"),
+                report.engine.wakes_coalesced,
+            );
+            reg.counter_add(
+                &format!("engine/{scheme}/idle_skipped"),
+                report.engine.idle_cycles_skipped,
+            );
             for cause in WriteCause::all() {
                 reg.counter_add(
                     &format!("nvm_writes/{scheme}/{cause}"),

@@ -161,6 +161,7 @@ impl CacheArray {
             tx,
             pinned,
             shared: false,
+            sharers: 0,
             last_use: clock,
             filled_at: clock,
         };

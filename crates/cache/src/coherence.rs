@@ -68,33 +68,81 @@ impl CohState {
     }
 }
 
-/// BusRdX/BusUpgr: invalidates every remote private copy of `line`,
-/// intervening dirty data into the LLC (which holds the line by inclusion
-/// whenever a private copy exists).
+/// Iterates the remote cores named by a directory bitmap in ascending
+/// core order (the same order the historical all-cores walk used), with
+/// the requester's own bit masked off.
+fn remote_sharers(sharers: u64, requester: usize) -> impl Iterator<Item = usize> {
+    let mut mask = sharers & !(1u64 << (requester as u32 & 63));
+    core::iter::from_fn(move || {
+        if mask == 0 {
+            return None;
+        }
+        let core = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        Some(core)
+    })
+}
+
+/// Debug check that the directory bitmap over-approximates reality: a
+/// core outside `sharers` must hold no private copy. (The inverse — a
+/// set bit without a copy — is legal only transiently, never here: the
+/// hierarchy clears bits eagerly at every invalidation/eviction point.)
+#[cfg(debug_assertions)]
+fn assert_directory_covers(l1: &[CacheArray], l2: &[CacheArray], sharers: u64, line: LineAddr) {
+    for core in 0..l1.len() {
+        if sharers & (1u64 << (core as u32 & 63)) == 0 {
+            debug_assert!(
+                !l1[core].contains(line) && !l2[core].contains(line),
+                "core {core} holds {line:?} but its directory bit is clear"
+            );
+        }
+    }
+}
+
+/// One bus snoop: who is asking, for which line, and which remote cores
+/// the LLC-side directory bitmap names as possible holders (so the walk
+/// costs O(sharers) instead of O(cores)).
+pub(crate) struct Snoop {
+    /// The core whose access put the request on the bus.
+    pub requester: usize,
+    /// The contended line.
+    pub line: LineAddr,
+    /// The LLC directory bitmap for `line` (bit per core).
+    pub sharers: u64,
+    /// Pin uncommitted persistent lines intervened into the LLC (the
+    /// NVLLC scheme's eviction guard).
+    pub pin_uncommitted: bool,
+}
+
+/// BusRdX/BusUpgr: invalidates every remote private copy of the snooped
+/// line, intervening dirty data into the LLC (which holds the line by
+/// inclusion whenever a private copy exists).
 ///
 /// Appends `(core, line)` to `invalidated` for each remote core that lost
 /// a copy, so the system layer can check those cores' transaction caches —
 /// a TC entry must survive its cache copy being invalidated (the P/V flag
 /// lives in the TC, not the cache).
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn snoop_invalidate(
     l1: &mut [CacheArray],
     l2: &mut [CacheArray],
     llc: &mut CacheArray,
     stats: &mut CoherenceStats,
-    pin_uncommitted: bool,
-    requester: usize,
-    line: LineAddr,
+    snoop: &Snoop,
     upgrade: bool,
     invalidated: &mut Vec<(usize, LineAddr)>,
 ) {
+    let &Snoop {
+        requester,
+        line,
+        sharers,
+        pin_uncommitted,
+    } = snoop;
     if upgrade {
         stats.bus_upgrades.inc();
     }
-    for core in 0..l1.len() {
-        if core == requester {
-            continue;
-        }
+    #[cfg(debug_assertions)]
+    assert_directory_covers(l1, l2, sharers, line);
+    for core in remote_sharers(sharers, requester) {
         let mut dirty = false;
         let mut persistent = false;
         let mut tx = None;
@@ -122,27 +170,35 @@ pub(crate) fn snoop_invalidate(
         }
         invalidated.push((core, line));
     }
+    // Every remote copy is gone: the directory shrinks to at most the
+    // requester's own presence bit.
+    if let Some(l) = llc.peek_mut(line) {
+        l.sharers &= 1u64 << (requester as u32 & 63);
+    }
 }
 
-/// BusRd: snoops every remote private copy of `line` for a read miss.
-/// Remote Modified copies are downgraded to Shared (their data intervened
-/// into the LLC); every surviving remote copy is marked shared. Returns
-/// whether any remote copy exists — if so the requester must fill in
-/// Shared state.
+/// BusRd: snoops the remote private copies of the requested line for a
+/// read miss. Remote Modified copies are downgraded to Shared (their
+/// data intervened into the LLC); every surviving remote copy is marked
+/// shared. Returns whether any remote copy exists — if so the requester
+/// must fill in Shared state.
 pub(crate) fn snoop_read(
     l1: &mut [CacheArray],
     l2: &mut [CacheArray],
     llc: &mut CacheArray,
     stats: &mut CoherenceStats,
-    pin_uncommitted: bool,
-    requester: usize,
-    line: LineAddr,
+    snoop: &Snoop,
 ) -> bool {
+    let &Snoop {
+        requester,
+        line,
+        sharers,
+        pin_uncommitted,
+    } = snoop;
+    #[cfg(debug_assertions)]
+    assert_directory_covers(l1, l2, sharers, line);
     let mut any_copy = false;
-    for core in 0..l1.len() {
-        if core == requester {
-            continue;
-        }
+    for core in remote_sharers(sharers, requester) {
         let mut intervened = false;
         for arr in [&mut l1[core], &mut l2[core]] {
             if let Some(l) = arr.peek_mut(line) {
@@ -168,6 +224,15 @@ pub(crate) fn snoop_read(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn remote_sharers_walks_set_bits_in_core_order() {
+        let walked: Vec<usize> = remote_sharers(0b1011_0101, 0).collect();
+        assert_eq!(walked, vec![2, 4, 5, 7]);
+        assert_eq!(remote_sharers(0b1011_0101, 2).collect::<Vec<_>>(), vec![0, 4, 5, 7]);
+        assert_eq!(remote_sharers(0, 3).count(), 0);
+        assert_eq!(remote_sharers(1 << 63, 0).collect::<Vec<_>>(), vec![63]);
+    }
 
     #[test]
     fn coh_state_derivation() {

@@ -6,7 +6,7 @@ use std::error::Error;
 use pmacc_types::{CacheConfig, LineAddr, TxId};
 
 use crate::array::CacheArray;
-use crate::coherence::{snoop_invalidate, snoop_read};
+use crate::coherence::{snoop_invalidate, snoop_read, Snoop};
 use crate::line::LineState;
 use crate::set::ReplacePolicy;
 use crate::stats::HierarchyStats;
@@ -158,6 +158,7 @@ impl Hierarchy {
         llc: CacheConfig,
         opts: HierarchyOpts,
     ) -> Self {
+        assert!(cores <= 64, "the LLC directory bitmap tracks at most 64 cores");
         Hierarchy {
             l1: (0..cores)
                 .map(|_| CacheArray::new(&l1, ReplacePolicy::Lru))
@@ -195,6 +196,10 @@ impl Hierarchy {
         let pin_unc = self.opts.pin_uncommitted_in_llc;
         let mut evictions = Vec::new();
         let mut invalidated = Vec::new();
+        // The LLC-side directory bitmap of the accessed line: which cores
+        // hold private copies. Inclusion means "no LLC line" implies "no
+        // private copies anywhere", i.e. an empty snoop.
+        let sharers = self.llc.peek(line).map_or(0, |l| l.sharers);
 
         // L1.
         if let Some(was_shared) = self.l1[core].lookup(line).map(|l| l.shared) {
@@ -207,9 +212,7 @@ impl Hierarchy {
                         &mut self.l2,
                         &mut self.llc,
                         &mut self.stats.coherence,
-                        pin_unc,
-                        core,
-                        line,
+                        &Snoop { requester: core, line, sharers, pin_uncommitted: pin_unc },
                         true,
                         &mut invalidated,
                     );
@@ -247,9 +250,7 @@ impl Hierarchy {
                     &mut self.l2,
                     &mut self.llc,
                     &mut self.stats.coherence,
-                    pin_unc,
-                    core,
-                    line,
+                    &Snoop { requester: core, line, sharers, pin_uncommitted: pin_unc },
                     true,
                     &mut invalidated,
                 );
@@ -267,9 +268,7 @@ impl Hierarchy {
                     &mut self.l2,
                     &mut self.llc,
                     &mut self.stats.coherence,
-                    pin_unc,
-                    core,
-                    line,
+                    &Snoop { requester: core, line, sharers, pin_uncommitted: pin_unc },
                     false,
                     &mut invalidated,
                 );
@@ -281,9 +280,7 @@ impl Hierarchy {
                     &mut self.l2,
                     &mut self.llc,
                     &mut self.stats.coherence,
-                    pin_unc,
-                    core,
-                    line,
+                    &Snoop { requester: core, line, sharers, pin_uncommitted: pin_unc },
                 );
                 if fill_shared {
                     self.stats.coherence.shared_fills.inc();
@@ -307,11 +304,14 @@ impl Hierarchy {
                     evictions.push(self.back_invalidate(eaddr, eline));
                 }
             }
-            // Fill L2.
+            // Fill L2. The core now holds a private copy: set its
+            // directory bit in the LLC line (present — just hit or filled).
             let ins2 = self.l2[core].insert(line, LineState::Clean, persistent, None, false);
             if fill_shared {
                 self.l2[core].set_shared(line, true);
             }
+            let l = self.llc.peek_mut(line).expect("LLC holds the line (inclusion)");
+            l.sharers |= 1u64 << (core as u32 & 63);
             if let Some((eaddr, eline)) = ins2.evicted {
                 self.stats.l2[core].evictions.inc();
                 self.absorb_l2_victim(core, eaddr, eline);
@@ -356,8 +356,13 @@ impl Hierarchy {
         eline: crate::line::CacheLine,
     ) {
         // Back-invalidate the L1 copy to preserve inclusion, merging its
-        // dirtiness and transaction tag.
+        // dirtiness and transaction tag. The core no longer holds a
+        // private copy: clear its directory bit (before the clean-victim
+        // early return — the bit must drop either way).
         let l1_old = self.l1[core].invalidate(eaddr);
+        if let Some(l) = self.llc.peek_mut(eaddr) {
+            l.sharers &= !(1u64 << (core as u32 & 63));
+        }
         let dirty = eline.state.is_dirty() || l1_old.is_some_and(|l| l.state.is_dirty());
         let tx = l1_old.and_then(|l| l.tx).or(eline.tx);
         if !dirty {
@@ -373,11 +378,16 @@ impl Hierarchy {
     }
 
     /// Back-invalidates every inner copy of an LLC victim and produces the
-    /// outgoing [`Eviction`] with merged dirtiness.
+    /// outgoing [`Eviction`] with merged dirtiness. The victim carries its
+    /// own directory bitmap, so only the cores that actually hold copies
+    /// are walked.
     fn back_invalidate(&mut self, eaddr: LineAddr, eline: crate::line::CacheLine) -> Eviction {
         let mut dirty = eline.state.is_dirty();
         let mut tx = eline.tx;
-        for core in 0..self.l1.len() {
+        let mut sharers = eline.sharers;
+        while sharers != 0 {
+            let core = sharers.trailing_zeros() as usize;
+            sharers &= sharers - 1;
             if let Some(old) = self.l1[core].invalidate(eaddr) {
                 dirty |= old.state.is_dirty();
                 tx = old.tx.or(tx);
@@ -433,6 +443,9 @@ impl Hierarchy {
                     moved = true;
                 }
             }
+        }
+        if let Some(l) = self.llc.peek_mut(line) {
+            l.sharers &= !(1u64 << (core as u32 & 63));
         }
         let _ = tx;
         if self.llc.contains(line) {
@@ -508,6 +521,43 @@ impl Hierarchy {
             }
         }
         lines.len() as u64
+    }
+
+    /// Checks the directory invariant exactly: for every LLC line, bit
+    /// `c` of its sharer bitmap is set iff core `c` holds a private (L1
+    /// or L2) copy, and no private copy exists without its LLC line
+    /// (inclusion). O(all lines); for tests and the property suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated line.
+    pub fn directory_consistent(&self) -> Result<(), String> {
+        let mut actual: std::collections::HashMap<LineAddr, u64> =
+            std::collections::HashMap::new();
+        for core in 0..self.l1.len() {
+            for arr in [&self.l1[core], &self.l2[core]] {
+                for (addr, _) in arr.iter_valid() {
+                    *actual.entry(addr).or_insert(0) |= 1u64 << (core as u32 & 63);
+                }
+            }
+        }
+        for (addr, bits) in &actual {
+            if self.llc.peek(*addr).is_none() {
+                return Err(format!(
+                    "{addr} cached privately (cores {bits:#b}) but absent from the LLC"
+                ));
+            }
+        }
+        for (addr, l) in self.llc.iter_valid() {
+            let expected = actual.get(&addr).copied().unwrap_or(0);
+            if l.sharers != expected {
+                return Err(format!(
+                    "{addr}: directory bitmap {:#b} but private copies in {expected:#b}",
+                    l.sharers
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Direct access to the LLC array (tests and recovery inspection).
@@ -721,6 +771,50 @@ mod tests {
         assert!(victim == nvm_line(0) || victim == nvm_line(8));
         assert_eq!(h.stats.llc.forced_unpins.value(), 1);
         assert!(h.access(0, Access::load(nvm_line(16))).is_ok());
+    }
+
+    #[test]
+    fn directory_tracks_fills_evictions_and_snoops() {
+        let mut h = small();
+        let line = LineAddr::new(100);
+        h.access(0, Access::load(line)).unwrap();
+        assert_eq!(h.llc().peek(line).unwrap().sharers, 0b01);
+        h.access(1, Access::load(line)).unwrap();
+        assert_eq!(h.llc().peek(line).unwrap().sharers, 0b11);
+        h.directory_consistent().unwrap();
+        // A write from core 0 invalidates core 1's copies (BusUpgr): only
+        // the writer's bit survives.
+        h.access(0, Access::store(line)).unwrap();
+        assert_eq!(h.llc().peek(line).unwrap().sharers, 0b01);
+        assert!(!h.l1(1).contains(line) && !h.l2(1).contains(line));
+        h.directory_consistent().unwrap();
+    }
+
+    #[test]
+    fn directory_stays_exact_under_pressure() {
+        let mut h = small();
+        // Interleave loads/stores from both cores over more lines than
+        // any level holds, forcing L1/L2/LLC evictions, then check the
+        // exact invariant (bit set iff a private copy exists).
+        for i in 0..400u64 {
+            let core = (i % 2) as usize;
+            let line = LineAddr::new((i * 7) % 192);
+            let acc = if i % 3 == 0 { Access::store(line) } else { Access::load(line) };
+            h.access(core, acc).unwrap();
+        }
+        h.directory_consistent().unwrap();
+    }
+
+    #[test]
+    fn demote_clears_directory_bit() {
+        let mut h = nvllc();
+        let tx = TxId::new(0, 2);
+        let line = nvm_line(1);
+        h.access(0, Access::store(line).with_tx(tx)).unwrap();
+        assert_eq!(h.llc().peek(line).unwrap().sharers, 0b01);
+        h.demote_tx_line(0, line, tx);
+        assert_eq!(h.llc().peek(line).unwrap().sharers, 0);
+        h.directory_consistent().unwrap();
     }
 
     #[test]

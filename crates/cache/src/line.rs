@@ -55,6 +55,12 @@ pub struct CacheLine {
     /// copies first), `Clean && !shared` is **E**xclusive,
     /// `Clean && shared` is **S**hared, `Invalid` is **I**nvalid.
     pub shared: bool,
+    /// Directory presence bitmap, meaningful only in the shared LLC: bit
+    /// `c` is set iff core `c` holds a private (L1 or L2) copy of this
+    /// line. Snoops walk only the set bits instead of every core, and
+    /// the bitmap travels with the line on eviction so back-invalidation
+    /// is sharer-filtered too. Private-level copies keep this at 0.
+    pub sharers: u64,
     /// LRU clock value of the last touch.
     pub last_use: u64,
     /// LRU clock value of the fill (for FIFO replacement).
@@ -95,6 +101,7 @@ mod tests {
             tx: Some(TxId::new(0, 1)),
             pinned: true,
             shared: true,
+            sharers: 0b101,
             last_use: 9,
             filled_at: 3,
         };
@@ -104,5 +111,6 @@ mod tests {
         assert_eq!(l.tx, None);
         assert!(!l.persistent);
         assert!(!l.shared);
+        assert_eq!(l.sharers, 0);
     }
 }

@@ -24,7 +24,7 @@ fn main() {
                 r.persistent_load_latency(), if b.persistent_load_latency()>0.0 {r.persistent_load_latency()/b.persistent_load_latency()} else {0.0},
                 r.stall_fraction(StallKind::TxCacheFull),
                 t0.elapsed());
-            eprintln!("   events={} cycles={}", sys.events_processed, r.cycles);
+            eprintln!("   events={} cycles={}", sys.engine.events_processed, r.cycles);
         }
     }
 }

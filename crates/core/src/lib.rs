@@ -48,6 +48,6 @@ mod system;
 mod txcache;
 
 pub use metrics::RunReport;
-pub use service::{ServeConfig, ServeCoreStats};
-pub use system::{stride_trace, stride_word, BoundaryClass, RunConfig, System};
+pub use service::{ServeConfig, ServeCoreStats, SERVE_RETRY};
+pub use system::{stride_trace, stride_word, BoundaryClass, EngineStats, RunConfig, System};
 pub use txcache::{EntryState, TcEntry, TcFullError, TcStats, TxCache};

@@ -8,6 +8,7 @@ use pmacc_mem::MemStats;
 use pmacc_telemetry::{Json, SeriesReport, ToJson};
 use pmacc_types::{Cycle, SchemeKind, WriteCause};
 
+use crate::system::EngineStats;
 use crate::txcache::TcStats;
 
 /// The measured outcome of one simulation run.
@@ -36,6 +37,9 @@ pub struct RunReport {
     /// buffer fill, stall fractions); empty when sampling is disabled
     /// via [`crate::RunConfig::sample_period`].
     pub series: SeriesReport,
+    /// Event-engine effort counters (whole-run, not reset at warm-up):
+    /// simulator-performance diagnostics, not simulated behavior.
+    pub engine: EngineStats,
 }
 
 impl RunReport {
@@ -169,6 +173,19 @@ impl ToJson for RunReport {
             ("dram", self.dram.to_json()),
             ("tc", self.tc.to_json()),
             ("series", self.series.to_json()),
+            ("engine", self.engine.to_json()),
+        ])
+    }
+}
+
+impl ToJson for EngineStats {
+    /// The skip-ahead event-engine effort counters.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("events_processed", self.events_processed.to_json()),
+            ("wakes_scheduled", self.wakes_scheduled.to_json()),
+            ("wakes_coalesced", self.wakes_coalesced.to_json()),
+            ("idle_cycles_skipped", self.idle_cycles_skipped.to_json()),
         ])
     }
 }
@@ -222,6 +239,7 @@ mod tests {
             dropped_llc_writes: 0,
             residual_nvm_lines: 0,
             series: SeriesReport::empty(),
+            engine: EngineStats::default(),
         }
     }
 

@@ -19,9 +19,10 @@ use pmacc_cpu::{CoreStats, StallKind};
 use pmacc_telemetry::Log2Histogram;
 use pmacc_types::Cycle;
 
-/// Cycles a core waits before re-testing admission when the transaction
-/// cache or the NVM write queue is saturated.
-pub(crate) const SERVE_RETRY: Cycle = 32;
+/// Default for [`ServeConfig::retry`]: cycles a core waits before
+/// re-testing admission when the transaction cache or the NVM write
+/// queue is saturated.
+pub const SERVE_RETRY: Cycle = 32;
 
 /// Open-system service configuration for one run.
 #[derive(Debug, Clone)]
@@ -43,6 +44,9 @@ pub struct ServeConfig {
     /// many cycles after its arrival is shed (its transaction is skipped
     /// and counted in [`ServeCoreStats::shed`]). Zero disables shedding.
     pub max_wait: Cycle,
+    /// Cycles a deferred request waits before re-testing admission
+    /// (backpressure polling interval). Defaults to [`SERVE_RETRY`].
+    pub retry: Cycle,
 }
 
 impl ServeConfig {
@@ -55,6 +59,7 @@ impl ServeConfig {
             tc_high: 0.75,
             nvm_write_high: 0.85,
             max_wait: 0,
+            retry: SERVE_RETRY,
         }
     }
 }
@@ -147,6 +152,7 @@ pub(crate) struct ServeState {
     pub tc_high: f64,
     pub nvm_write_high: f64,
     pub max_wait: Cycle,
+    pub retry: Cycle,
 }
 
 #[cfg(test)]

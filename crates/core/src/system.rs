@@ -24,7 +24,7 @@ use pmacc_types::{
     MemRegion, MemReq, ReqId, SchemeKind, SimError, TxId, Word, WordAddr, WORDS_PER_LINE,
     WORD_BYTES,
 };
-use pmacc_workloads::{build, WorkloadKind, WorkloadParams};
+use pmacc_workloads::{build_shared, WorkloadKind, WorkloadParams};
 
 use crate::metrics::RunReport;
 use crate::recovery::{CowTxShadow, CrashState, TxRecord};
@@ -32,16 +32,11 @@ use crate::scheme;
 use crate::service::{self, ReqTiming, ServeConfig, ServeCore, ServeCoreStats, ServeState};
 use crate::txcache::TxCache;
 
-use pmacc_types::layout::{CORE_STRIDE, MAX_STRIDED_CORES};
+use pmacc_types::layout::MAX_STRIDED_CORES;
 
 /// Batch limits for one core-step event (fairness between components).
 const STEP_OPS: usize = 64;
 const STEP_CYCLES: Cycle = 256;
-/// Retry interval when an NVLLC fill finds its LLC set fully pinned.
-const PIN_RETRY: Cycle = 64;
-/// Retry interval while a transactional store is serialized behind a
-/// remote core's conflicting active transaction.
-const CONFLICT_RETRY: Cycle = 64;
 /// Forced unpins start after this many pin-blocked retries.
 const PIN_RETRY_LIMIT: u32 = 8;
 
@@ -50,6 +45,17 @@ const PIN_RETRY_LIMIT: u32 = 8;
 pub struct RunConfig {
     /// Abort with [`SimError::Deadlock`] beyond this many cycles.
     pub max_cycles: Cycle,
+    /// Retry interval when an NVLLC fill finds its LLC set fully pinned
+    /// (a remote commit is what unpins the set, so the blocked core
+    /// polls).
+    pub pin_retry: Cycle,
+    /// Poll interval for a transactional store serialized behind a
+    /// remote core's conflicting active transaction. The common wake-up
+    /// is *exact* — [`System`] re-checks every Conflict-blocked core the
+    /// moment a transaction commit retires — so this interval only
+    /// paces the deadlock-cycle detector, which has no commit event to
+    /// ride on.
+    pub conflict_retry: Cycle,
     /// Committed transactions (across all cores) to treat as warm-up:
     /// when reached, every statistic resets so the report covers only the
     /// warmed region. Zero measures from a cold start (the recorded
@@ -75,6 +81,8 @@ impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             max_cycles: 20_000_000_000,
+            pin_retry: 64,
+            conflict_retry: 64,
             warmup_commits: 0,
             sample_period: 32_768,
             record_boundaries: false,
@@ -104,6 +112,29 @@ pub enum BoundaryClass {
 /// oldest (the report then covers only the tail of the run, and says so
 /// via its `dropped` count).
 const SERIES_CAPACITY: usize = 1024;
+
+/// Event-engine diagnostics: how hard the skip-ahead scheduler worked
+/// for one run. Whole-run totals — deliberately *not* reset by the
+/// warm-up boundary, because they describe simulator effort rather than
+/// simulated behavior. Rides along in [`RunReport::engine`] so the
+/// regression gate can catch event-count blow-ups (a scheduling bug
+/// that keeps results identical but doubles the event count is a real
+/// performance regression).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped from the queue (includes clock-only wakes).
+    pub events_processed: u64,
+    /// Wake-ups pushed onto the event queue.
+    pub wakes_scheduled: u64,
+    /// Wake-up requests absorbed by an already-scheduled earlier wake
+    /// for the same component (memory pokes, TC drains) — each one is a
+    /// heap operation the dedup markers saved.
+    pub wakes_coalesced: u64,
+    /// Cycles the clock jumped over without simulating anything: the
+    /// sum of the gaps between consecutive events. Idle time the
+    /// skip-ahead engine made free.
+    pub idle_cycles_skipped: u64,
+}
 
 /// Cycle-sampled instrumentation state: the recorder plus the previous
 /// per-kind stall totals, so each sample row carries the stall *rate*
@@ -339,6 +370,14 @@ pub struct System {
     durable_word_seq: FxHashMap<WordAddr, u64>,
     /// Cached [`layout::shared_pool_base`] word bound for the check above.
     shared_word_base: u64,
+    /// Cached [`layout::extended_heap_base`] word bound: words at or above
+    /// it are extended-core private images, which never alias either.
+    shared_word_end: u64,
+    /// Per line, a bitmap of cores whose in-flight transaction (active or
+    /// awaiting commit durability) has written it. Bit `c` is set iff
+    /// `line` is in `cores[c].tx_lines`; the conflict check reads this map
+    /// instead of scanning every remote core's write-set list.
+    tx_writers: FxHashMap<LineAddr, u64>,
     /// Cycle at which measurement started (after warm-up, if any).
     measure_start: Cycle,
     warmup_done: bool,
@@ -367,8 +406,8 @@ pub struct System {
     serve: Option<ServeState>,
     run_cfg: RunConfig,
     sampler: Sampler,
-    /// Events processed (performance diagnostic).
-    pub events_processed: u64,
+    /// Event-engine effort counters (performance diagnostics).
+    pub engine: EngineStats,
     // Cached latencies (cycles).
     lat_l1: Cycle,
     lat_l2: Cycle,
@@ -459,6 +498,8 @@ impl System {
             cow_installs: FxHashMap::default(),
             durable_word_seq: FxHashMap::default(),
             shared_word_base: layout::shared_pool_base().word().raw(),
+            shared_word_end: layout::extended_heap_base().word().raw(),
+            tx_writers: FxHashMap::default(),
             tx_write_table,
             measure_start: 0,
             warmup_done: false,
@@ -478,7 +519,7 @@ impl System {
             serve: None,
             run_cfg: *run_cfg,
             sampler: Sampler::new(run_cfg.sample_period),
-            events_processed: 0,
+            engine: EngineStats::default(),
             lat_l1: freq.ns_to_cycles(cfg.l1.latency_ns),
             lat_l2: freq.ns_to_cycles(cfg.l2.latency_ns),
             // Kiln's LLC is an STT-RAM array: slower than the SRAM LLC.
@@ -504,8 +545,9 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns a configuration error for invalid machines or more than six
-    /// cores (the striding limit).
+    /// Returns a configuration error for invalid machines or more cores
+    /// than the striding scheme supports
+    /// ([`pmacc_types::layout::MAX_STRIDED_CORES`]).
     pub fn for_workload(
         cfg: MachineConfig,
         kind: WorkloadKind,
@@ -523,7 +565,7 @@ impl System {
         for core in 0..cfg.cores {
             let mut p = *params;
             p.seed = stream_seed(params.seed, core as u64);
-            let w = build(kind, &p);
+            let w = build_shared(kind, &p);
             traces.push(stride_trace(&w.trace, core));
             initial.extend(
                 w.initial
@@ -541,7 +583,8 @@ impl System {
     /// # Errors
     ///
     /// Returns a configuration error for invalid machines, a kind count
-    /// that does not match the core count, or more than six cores.
+    /// that does not match the core count, or more cores than the
+    /// striding scheme supports.
     pub fn for_workload_mix(
         cfg: MachineConfig,
         kinds: &[WorkloadKind],
@@ -567,7 +610,7 @@ impl System {
         for (core, kind) in kinds.iter().enumerate() {
             let mut p = *params;
             p.seed = stream_seed(params.seed, core as u64);
-            let w = build(*kind, &p);
+            let w = build_shared(*kind, &p);
             traces.push(stride_trace(&w.trace, core));
             initial.extend(w.initial.iter().map(|&(a, v)| (stride_word(a, core), v)));
         }
@@ -664,6 +707,7 @@ impl System {
             tc_high: cfg.tc_high,
             nvm_write_high: cfg.nvm_write_high,
             max_wait: cfg.max_wait,
+            retry: cfg.retry,
         });
         Ok(())
     }
@@ -740,10 +784,11 @@ impl System {
         }
         if self.serve_pressure(c) {
             // Backpressure: hold the request and retry shortly.
-            self.cores[c].time = now + service::SERVE_RETRY;
+            let retry = self.serve.as_ref().expect("serve state checked above").retry;
+            self.cores[c].time = now + retry;
             let s = self.serve.as_mut().expect("serve state checked above");
             s.cores[c].stats.backpressure_events += 1;
-            s.cores[c].stats.backpressure_cycles += service::SERVE_RETRY;
+            s.cores[c].stats.backpressure_cycles += retry;
             return true;
         }
         // Admit: timestamp the request and snapshot the stall baselines
@@ -790,6 +835,7 @@ impl System {
 
     fn push_event(&mut self, at: Cycle, ev: Event) {
         self.seq += 1;
+        self.engine.wakes_scheduled += 1;
         self.events.push(Reverse((at, self.seq, ev)));
     }
 
@@ -798,6 +844,8 @@ impl System {
         if self.mem_poke_at[i].is_none_or(|t| at < t) {
             self.mem_poke_at[i] = Some(at);
             self.push_event(at, Event::MemPoke(i as u8));
+        } else {
+            self.engine.wakes_coalesced += 1;
         }
     }
 
@@ -805,6 +853,8 @@ impl System {
         if self.tc_drain_at[c].is_none_or(|t| at < t) {
             self.tc_drain_at[c] = Some(at);
             self.push_event(at, Event::TcDrain(c));
+        } else {
+            self.engine.wakes_coalesced += 1;
         }
     }
 
@@ -860,8 +910,13 @@ impl System {
                 });
             }
             let Reverse((t, _, ev)) = self.events.pop().expect("peeked event");
+            if t > self.clock {
+                // The gap between consecutive events is simulated time
+                // that cost nothing to skip over.
+                self.engine.idle_cycles_skipped += t - self.clock - 1;
+            }
             self.clock = t;
-            self.events_processed += 1;
+            self.engine.events_processed += 1;
             // Cycle-sampled telemetry: take every sample point the clock
             // just crossed (state is as of the last event before it, so
             // the series is independent of intra-cycle event order).
@@ -964,6 +1019,7 @@ impl System {
             dropped_llc_writes: self.dropped_llc_writes.value(),
             residual_nvm_lines,
             series: self.sampler.freeze(),
+            engine: self.engine,
         }
     }
 
@@ -1092,7 +1148,10 @@ impl System {
                     self.cores[c].conflict_exempt = true;
                     self.cores[c].stats.conflict_overrides.inc();
                 } else {
-                    let at = self.clock + CONFLICT_RETRY;
+                    // Commit retirement wakes conflict-blocked cores
+                    // exactly ([`System::finish_txend`]); this periodic
+                    // retry only paces the deadlock detector above.
+                    let at = self.clock + self.run_cfg.conflict_retry;
                     self.push_event(at, Event::CoreStep(c));
                     return;
                 }
@@ -1129,7 +1188,7 @@ impl System {
                 }
                 self.cores[c].regs.begin();
                 self.cores[c].tx_writes.clear();
-                self.cores[c].tx_lines.clear();
+                self.clear_tx_lines(c);
                 self.cores[c].charge(1, width);
                 self.cores[c].stats.ops.inc();
                 self.cores[c].idx += 1;
@@ -1339,7 +1398,7 @@ impl System {
             } else if self.conflicting_core(c, addr.line()).is_some() {
                 self.cores[c].stats.tx_conflicts.inc();
                 self.cores[c].begin_stall(StallKind::Conflict);
-                let at = self.clock.max(self.cores[c].time) + CONFLICT_RETRY;
+                let at = self.clock.max(self.cores[c].time) + self.run_cfg.conflict_retry;
                 self.push_event(at, Event::CoreStep(c));
                 return;
             }
@@ -1445,8 +1504,12 @@ impl System {
         if persistent && in_tx && kind == StoreKind::Data {
             self.cores[c].tx_writes.push((addr.word(), value));
             // Every scheme tracks the written lines: NVLLC commits them,
-            // and the conflict check above reads them on remote cores.
-            if !self.cores[c].tx_lines.contains(&line) {
+            // and the conflict check above reads them on remote cores
+            // through the `tx_writers` bitmap (one map lookup instead of
+            // a per-core list scan).
+            let e = self.tx_writers.entry(line).or_insert(0);
+            if *e & (1u64 << c) == 0 {
+                *e |= 1u64 << c;
                 self.cores[c].tx_lines.push(line);
             }
         }
@@ -1459,15 +1522,17 @@ impl System {
 
     /// The lowest-index remote core whose in-flight transaction — active,
     /// or at `TX_END` with its commit not yet durable — has written
-    /// `line`. `tx_lines` is cleared when the commit retires
-    /// ([`System::finish_txend`]), which is exactly when the conflicting
-    /// writer may proceed.
+    /// `line`. A core's bit in the `tx_writers` mask is set exactly while
+    /// that condition holds (set on the first transactional write, cleared
+    /// when the commit retires, [`System::finish_txend`]), so the check is
+    /// one map lookup regardless of core count or write-set size.
     fn conflicting_core(&self, c: usize, line: LineAddr) -> Option<usize> {
-        (0..self.cores.len()).find(|&r| {
-            r != c
-                && (self.cores[r].regs.in_tx() || self.cores[r].txend.is_some())
-                && self.cores[r].tx_lines.contains(&line)
-        })
+        let writers = self.tx_writers.get(&line).copied().unwrap_or(0) & !(1u64 << c);
+        if writers == 0 {
+            None
+        } else {
+            Some(writers.trailing_zeros() as usize)
+        }
     }
 
     /// Deadlock avoidance for conflict serialization: when transactions
@@ -1480,12 +1545,29 @@ impl System {
         if (0..c).any(|i| self.cores[i].blocked == Some(StallKind::Conflict)) {
             return false;
         }
-        (0..self.cores.len()).all(|r| {
-            r == c
-                || self.cores[r].blocked == Some(StallKind::Conflict)
-                || !((self.cores[r].regs.in_tx() || self.cores[r].txend.is_some())
-                    && self.cores[r].tx_lines.contains(&line))
-        })
+        let mut writers = self.tx_writers.get(&line).copied().unwrap_or(0) & !(1u64 << c);
+        while writers != 0 {
+            let r = writers.trailing_zeros() as usize;
+            writers &= writers - 1;
+            if self.cores[r].blocked != Some(StallKind::Conflict) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Drops core `c`'s transactional write-set line tracking: clears its
+    /// bit from every tracked line's writer mask and empties `tx_lines`.
+    fn clear_tx_lines(&mut self, c: usize) {
+        let lines = std::mem::take(&mut self.cores[c].tx_lines);
+        for line in lines {
+            if let Some(e) = self.tx_writers.get_mut(&line) {
+                *e &= !(1u64 << c);
+                if *e == 0 {
+                    self.tx_writers.remove(&line);
+                }
+            }
+        }
     }
 
     /// Books the TC-side effect of snoop invalidations: a remote core
@@ -1519,7 +1601,7 @@ impl System {
             self.cores[c].pin_retries = 0;
         }
         self.cores[c].begin_stall(StallKind::PinBlocked);
-        let at = self.clock.max(self.cores[c].time) + PIN_RETRY;
+        let at = self.clock.max(self.cores[c].time) + self.run_cfg.pin_retry;
         self.push_event(at, Event::CoreStep(c));
     }
 
@@ -1667,7 +1749,18 @@ impl System {
         let (tx, _) = self.cores[c].txend.take().expect("txend in progress");
         self.record_boundary(BoundaryClass::TxEnd);
         self.cores[c].tx_writes.clear();
-        self.cores[c].tx_lines.clear();
+        self.clear_tx_lines(c);
+        // This retirement is exactly when a remote core stalled on one of
+        // this transaction's lines may proceed, so wake Conflict-blocked
+        // cores now instead of leaving them to the periodic retry
+        // (`retry_blocked` re-derives each one's line and re-checks, so a
+        // wake against a still-contended line is harmless).
+        for r in 0..self.cores.len() {
+            if r != c && self.cores[r].blocked == Some(StallKind::Conflict) {
+                let at = self.clock.max(self.cores[r].time);
+                self.push_event(at, Event::CoreStep(r));
+            }
+        }
         self.journal.push(TxRecord {
             tx,
             commit_cycle: self.cores[c].time,
@@ -2131,9 +2224,10 @@ impl System {
     /// cores' transactions may both write a shared word, and their NVM
     /// completions can land out of commit order across banks, so shared-
     /// window words keep the highest-`seq` value. Private (striped) words
-    /// never alias across cores and skip the sequence map entirely.
+    /// — both below the window and in the extended bank above it — never
+    /// alias across cores and skip the sequence map entirely.
     fn durable_write(&mut self, word: WordAddr, value: Word, seq: u64) {
-        if word.raw() >= self.shared_word_base {
+        if (self.shared_word_base..self.shared_word_end).contains(&word.raw()) {
             let e = self.durable_word_seq.entry(word).or_insert(0);
             if *e > seq {
                 return;
@@ -2203,10 +2297,10 @@ fn stride_addr(addr: Addr, core: usize) -> Addr {
     // (between the NVM base and the persistent heap) are already private,
     // and the shared window above the striped heap is shared by design —
     // every core addresses it identically.
-    let in_volatile_heap = (volatile_heap..nvm).contains(&raw);
-    let in_persistent_heap = (persistent_heap..shared_pool).contains(&raw);
-    if in_volatile_heap || in_persistent_heap {
-        Addr::new(raw + core as u64 * CORE_STRIDE)
+    if (volatile_heap..nvm).contains(&raw) {
+        Addr::new(raw + layout::volatile_heap_stride(core))
+    } else if (persistent_heap..shared_pool).contains(&raw) {
+        Addr::new(raw + layout::persistent_heap_stride(core))
     } else {
         addr
     }
@@ -2235,6 +2329,8 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmacc_types::layout::CORE_STRIDE;
+    use pmacc_workloads::build;
 
     #[test]
     fn striding_keeps_cores_disjoint_and_leaves_scratch_areas() {

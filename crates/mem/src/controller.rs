@@ -78,6 +78,10 @@ pub struct MemController {
     /// request's id; they complete together with it.
     merged: FxHashMap<ReqId, Vec<MemReq>>,
     pending: BinaryHeap<Pending>,
+    /// Writes currently in `pending`, maintained incrementally so
+    /// [`MemController::outstanding_writes`] (polled per pcommit check)
+    /// is O(1) instead of a heap scan.
+    pending_writes: usize,
     bus_free: Cycle,
     drain_mode: bool,
     writes_accepted: u64,
@@ -111,6 +115,7 @@ impl MemController {
             write_q: VecDeque::with_capacity(cfg.write_queue),
             merged: FxHashMap::default(),
             pending: BinaryHeap::new(),
+            pending_writes: 0,
             bus_free: 0,
             drain_mode: false,
             writes_accepted: 0,
@@ -168,12 +173,11 @@ impl MemController {
     /// `pcommit` must wait out.
     #[must_use]
     pub fn outstanding_writes(&self) -> usize {
-        self.write_q.len()
-            + self
-                .pending
-                .iter()
-                .filter(|p| p.req.is_write())
-                .count()
+        debug_assert_eq!(
+            self.pending_writes,
+            self.pending.iter().filter(|p| p.req.is_write()).count()
+        );
+        self.write_q.len() + self.pending_writes
     }
 
     /// Monotone count of writes accepted so far (including coalesced).
@@ -268,6 +272,7 @@ impl MemController {
             let p = self.pending.pop().expect("peeked entry exists");
             if p.req.is_write() {
                 self.writes_durable += 1;
+                self.pending_writes -= 1;
             }
             done.push(Completion {
                 req: p.req,
@@ -295,9 +300,7 @@ impl MemController {
             AccessKind::Read => &self.read_q,
             AccessKind::Write => &self.write_q,
         };
-        // The scheduler sees requests without arrival stamps.
-        let reqs: VecDeque<MemReq> = queue.iter().map(|(_, r)| *r).collect();
-        let Some(idx) = self.policy.pick(&reqs, &self.banks, &self.map, now) else {
+        let Some(idx) = self.policy.pick(queue, &self.banks, &self.map, now) else {
             return false;
         };
         let (arrived, req) = match kind {
@@ -359,6 +362,9 @@ impl MemController {
             }
         }
         self.seq += 1;
+        if kind == AccessKind::Write {
+            self.pending_writes += 1;
+        }
         self.pending.push(Pending {
             done_at,
             seq: self.seq,

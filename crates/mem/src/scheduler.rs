@@ -19,12 +19,15 @@ pub enum SchedPolicy {
 }
 
 impl SchedPolicy {
-    /// Picks the index of the request to issue next from `queue`, given the
-    /// current bank states, or `None` if the queue is empty.
+    /// Picks the index of the request to issue next from `queue` (stored
+    /// as the controller keeps it, `(arrival_cycle, request)` pairs —
+    /// passing the queue by reference keeps the per-issue hot path free
+    /// of clones), given the current bank states, or `None` if the queue
+    /// is empty.
     #[must_use]
     pub fn pick(
         self,
-        queue: &VecDeque<MemReq>,
+        queue: &VecDeque<(u64, MemReq)>,
         banks: &[BankState],
         map: &AddressMap,
         now: u64,
@@ -36,14 +39,14 @@ impl SchedPolicy {
             SchedPolicy::Fcfs => Some(0),
             SchedPolicy::FrFcfs => {
                 // Oldest row-hit request on a ready bank wins.
-                for (i, req) in queue.iter().enumerate() {
+                for (i, (_, req)) in queue.iter().enumerate() {
                     let b = map.bank(req.addr);
                     if banks[b].ready_at <= now && banks[b].is_row_hit(map.row(req.addr)) {
                         return Some(i);
                     }
                 }
                 // Otherwise oldest request on a ready bank.
-                for (i, req) in queue.iter().enumerate() {
+                for (i, (_, req)) in queue.iter().enumerate() {
                     let b = map.bank(req.addr);
                     if banks[b].ready_at <= now {
                         return Some(i);
@@ -67,8 +70,8 @@ mod tests {
         (map, banks)
     }
 
-    fn write(id: u64, line: u64) -> MemReq {
-        MemReq::write(ReqId(id), LineAddr::new(line), None, WriteCause::Eviction)
+    fn write(id: u64, line: u64) -> (u64, MemReq) {
+        (0, MemReq::write(ReqId(id), LineAddr::new(line), None, WriteCause::Eviction))
     }
 
     #[test]

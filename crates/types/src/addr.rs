@@ -3,7 +3,7 @@
 //! The simulated physical address space is split in two fixed regions,
 //! mirroring the hybrid DRAM + NVM memory system of the paper (Figure 1):
 //! DRAM occupies `[0, 8 GiB)` and the persistent NVM occupies
-//! `[8 GiB, 24 GiB)`. Data placed in the NVM region is *persistent*: it
+//! `[8 GiB, 82 GiB)`. Data placed in the NVM region is *persistent*: it
 //! survives a simulated crash; everything else is volatile.
 
 use core::fmt;
@@ -17,11 +17,15 @@ pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
 
 /// First byte of the persistent NVM region (8 GiB).
 const NVM_BASE: u64 = 8 << 30;
-/// One-past-last byte of the physical address space (24 GiB). The last
-/// 8 GiB of NVM hold the cross-core shared persistent window (see
-/// [`crate::layout::shared_pool_base`]), placed after the per-core
-/// strided heap.
-pub const ADDR_SPACE_BYTES: u64 = 24 << 30;
+/// One-past-last byte of the physical address space (82 GiB). NVM bytes
+/// `[16 GiB, 24 GiB)` hold the cross-core shared persistent window (see
+/// [`crate::layout::shared_pool_base`]), placed after the dense per-core
+/// strided heap; `[24 GiB, 82 GiB)` is the extended heap bank for cores
+/// beyond the dense range (see [`crate::layout::extended_heap_base`]).
+/// Nothing allocates proportionally to this bound — backings and wear
+/// regions are sparse maps, bank/row maps are modular — so widening it
+/// costs nothing.
+pub const ADDR_SPACE_BYTES: u64 = 82 << 30;
 const ADDR_END: u64 = ADDR_SPACE_BYTES;
 
 /// Which backing memory device a physical address belongs to.

@@ -50,7 +50,7 @@ pub use rbtree::RbTree;
 pub use session::MemSession;
 pub use skiplist::{SkipList, MAX_LEVEL};
 pub use sps::SwapArray;
-pub use suite::{build, WorkloadKind, WorkloadParams, WorkloadTrace};
+pub use suite::{build, build_shared, WorkloadKind, WorkloadParams, WorkloadTrace};
 
 // Workload generation runs inside the experiment harness's worker
 // threads (`pmacc_bench::pool`), so generated traces and their

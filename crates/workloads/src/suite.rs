@@ -1,7 +1,9 @@
 //! Workload registry and trace generation (paper Table 3).
 
 use core::fmt;
+use std::collections::VecDeque;
 use std::str::FromStr;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pmacc_cpu::{Op, Trace};
 use pmacc_types::rng::{splitmix64, stream_seed};
@@ -110,7 +112,7 @@ impl FromStr for WorkloadKind {
 }
 
 /// Generation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadParams {
     /// Number of benchmark operations (each is one transaction).
     pub num_ops: usize,
@@ -299,6 +301,51 @@ pub fn build(kind: WorkloadKind, params: &WorkloadParams) -> WorkloadTrace {
         };
     }
     share_lines(kind, params, trace, initial)
+}
+
+/// Process-wide memo of [`build`] results, capped at this many entries
+/// (FIFO eviction): enough to cover every workload an experiment's cells
+/// revisit without letting a long multi-experiment run hoard images.
+const BUILD_CACHE_CAP: usize = 64;
+
+type BuildCache = Mutex<(
+    FxHashMap<(WorkloadKind, WorkloadParams), Arc<WorkloadTrace>>,
+    VecDeque<(WorkloadKind, WorkloadParams)>,
+)>;
+
+static BUILD_CACHE: OnceLock<BuildCache> = OnceLock::new();
+
+/// [`build`], memoized process-wide.
+///
+/// Generation is a pure function of `(kind, params)` (the determinism
+/// the whole harness rests on), so a cache hit returns a bit-identical
+/// trace — but skips the functional setup run, which at evaluation
+/// scales costs several times the simulation itself. Experiment grids
+/// re-simulate the *same* workload under every scheme, NVM timing and
+/// ablation arm, so the hit rate across a `reproduce` run is high.
+///
+/// Concurrent misses on one key may both generate (the lock is dropped
+/// while building); the results are identical, so either wins.
+#[must_use]
+pub fn build_shared(kind: WorkloadKind, params: &WorkloadParams) -> Arc<WorkloadTrace> {
+    let cache = BUILD_CACHE.get_or_init(Default::default);
+    let key = (kind, *params);
+    if let Some(hit) = cache.lock().expect("build cache poisoned").0.get(&key) {
+        return Arc::clone(hit);
+    }
+    let built = Arc::new(build(kind, params));
+    let (map, fifo) = &mut *cache.lock().expect("build cache poisoned");
+    if let Some(raced) = map.get(&key) {
+        return Arc::clone(raced);
+    }
+    if map.len() >= BUILD_CACHE_CAP {
+        if let Some(oldest) = fifo.pop_front() {
+            map.remove(&oldest);
+        }
+    }
+    map.insert(key, Arc::clone(&built));
+    fifo.push_back(key);
+    built
 }
 
 /// Applies the sharing knob: remaps the selected fraction of persistent-

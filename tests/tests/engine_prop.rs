@@ -1,0 +1,136 @@
+//! Property tests for the skip-ahead event engine: the queue's total
+//! order, exact-cycle crash stamping, and the equivalence of one
+//! uninterrupted run with arbitrarily chopped-up stepping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pmacc::{RunConfig, System};
+use pmacc_telemetry::{Json, ToJson};
+use pmacc_types::{MachineConfig, SchemeKind};
+use pmacc_workloads::{WorkloadKind, WorkloadParams};
+
+/// The engine orders its queue by `(cycle, push sequence)`. Feeding a
+/// mirror of that discipline random cycles must pop a *stable* sort:
+/// ascending cycle, and FIFO among events pushed for the same cycle —
+/// the invariant that makes event handling deterministic and
+/// starvation-free regardless of push order.
+#[test]
+fn event_queue_pops_a_stable_total_order() {
+    pmacc_prop::check("event_queue_pops_a_stable_total_order", |g| {
+        let n = g.gen_range(1usize..200);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut pushed = Vec::new();
+        for seq in 0..n as u64 {
+            // A narrow cycle range forces plenty of same-cycle ties.
+            let cycle = g.gen_range(0u64..16);
+            let payload = g.gen::<u32>();
+            heap.push(Reverse((cycle, seq, payload)));
+            pushed.push((cycle, seq, payload));
+        }
+        let mut expected = pushed.clone();
+        expected.sort_by_key(|&(cycle, seq, _)| (cycle, seq));
+        let mut popped = Vec::new();
+        while let Some(Reverse(e)) = heap.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, expected, "pop order must be the stable (cycle, seq) sort");
+    });
+}
+
+fn small_system(scheme: SchemeKind, kind: WorkloadKind, seed: u64) -> System {
+    let cfg = MachineConfig::small().with_scheme(scheme);
+    let params = WorkloadParams {
+        num_ops: 60,
+        setup_items: 40,
+        key_space: 64,
+        insert_ratio: 60,
+        seed,
+        sharing: 0,
+    };
+    System::for_workload(cfg, kind, &params, &RunConfig::default()).expect("system builds")
+}
+
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Optimal,
+    SchemeKind::Sp,
+    SchemeKind::TxCache,
+    SchemeKind::NvLlc,
+];
+
+const KINDS: [WorkloadKind; 3] = [
+    WorkloadKind::Sps,
+    WorkloadKind::Btree,
+    WorkloadKind::Hashtable,
+];
+
+/// `run_until(n)` must land the clock on `n` exactly for *any* `n` —
+/// the engine schedules a clock-only wake there — so a crash snapshot
+/// carries the requested cycle even when the skip-ahead jump would
+/// otherwise leap over it.
+#[test]
+fn run_until_stamps_arbitrary_cycles_exactly() {
+    pmacc_prop::check("run_until_stamps_arbitrary_cycles_exactly", |g| {
+        let scheme = g.choose(&SCHEMES);
+        let kind = g.choose(&KINDS);
+        let seed = g.gen_range(0u64..1_000);
+        let total = {
+            let mut sys = small_system(scheme, kind, seed);
+            sys.run().expect("full run").cycles
+        };
+        let mut sys = small_system(scheme, kind, seed);
+        // A monotone ladder of random stops, each stamped exactly (the
+        // last may land past the quiesce point; the wake still fires).
+        let mut at = 0u64;
+        for _ in 0..g.gen_range(1usize..6) {
+            at += g.gen_range(1u64..total.max(2));
+            sys.run_until(at).expect("partial run");
+            assert_eq!(
+                sys.crash_state().cycle,
+                at,
+                "{scheme}/{kind} seed {seed}: clock must land on {at}"
+            );
+        }
+    });
+}
+
+/// Drops the top-level `engine` key: the effort counters legitimately
+/// differ between one uninterrupted run and a stepped run (every
+/// `run_until` stop schedules an extra clock-only wake).
+fn strip_engine(j: Json) -> Json {
+    match j {
+        Json::Obj(pairs) => Json::Obj(pairs.into_iter().filter(|(k, _)| k != "engine").collect()),
+        other => other,
+    }
+}
+
+/// Chopping a run into arbitrary `run_until` steps must not change any
+/// simulated outcome: the final report (minus the engine's own effort
+/// counters) is byte-identical to the uninterrupted run's. This is the
+/// load-bearing property behind crash-point sweeps — a crash snapshot
+/// at cycle `n` observes the same machine the full run passed through.
+#[test]
+fn stepped_execution_matches_uninterrupted_run() {
+    pmacc_prop::check("stepped_execution_matches_uninterrupted_run", |g| {
+        let scheme = g.choose(&SCHEMES);
+        let kind = g.choose(&KINDS);
+        let seed = g.gen_range(0u64..1_000);
+        let (reference, total) = {
+            let mut sys = small_system(scheme, kind, seed);
+            let r = sys.run().expect("full run");
+            let cycles = r.cycles;
+            (strip_engine(r.to_json()).to_pretty(), cycles)
+        };
+        let mut sys = small_system(scheme, kind, seed);
+        let mut at = 0u64;
+        while at < total {
+            at += g.gen_range(1u64..(total / 3).max(2));
+            sys.run_until(at.min(total.saturating_sub(1))).expect("partial run");
+        }
+        let stepped = strip_engine(sys.run().expect("finishes").to_json()).to_pretty();
+        assert_eq!(
+            stepped, reference,
+            "{scheme}/{kind} seed {seed}: stepped run diverged from batch run"
+        );
+    });
+}

@@ -154,6 +154,11 @@ dram.writes_by_cause.log
 dram.writes_by_cause.recovery
 dram.writes_by_cause.tc-drain
 dropped_llc_writes
+engine
+engine.events_processed
+engine.idle_cycles_skipped
+engine.wakes_coalesced
+engine.wakes_scheduled
 hierarchy
 hierarchy.coherence
 hierarchy.coherence.back_invalidations
