@@ -78,6 +78,10 @@ pub enum Mutation {
     /// Clear every COW shadow's commit flag, as if recovery never
     /// replayed the overflow path.
     SkipCowReplay,
+    /// Drop every core's eADR undo log, as if recovery kept the drained
+    /// stores of uncommitted in-flight transactions instead of rolling
+    /// them back.
+    KeepUncommittedEadr,
 }
 
 impl Mutation {
@@ -102,6 +106,11 @@ impl Mutation {
                     }
                 }
             }
+            Mutation::KeepUncommittedEadr => {
+                for undo in &mut state.eadr_undo {
+                    undo.clear();
+                }
+            }
         }
     }
 }
@@ -112,6 +121,7 @@ impl fmt::Display for Mutation {
             Mutation::None => "none",
             Mutation::DropCommittedTc => "drop-committed-tc",
             Mutation::SkipCowReplay => "skip-cow-replay",
+            Mutation::KeepUncommittedEadr => "keep-uncommitted-eadr",
         })
     }
 }
@@ -124,6 +134,7 @@ impl FromStr for Mutation {
             "none" => Ok(Mutation::None),
             "drop-committed-tc" => Ok(Mutation::DropCommittedTc),
             "skip-cow-replay" => Ok(Mutation::SkipCowReplay),
+            "keep-uncommitted-eadr" => Ok(Mutation::KeepUncommittedEadr),
             other => Err(format!("unknown mutation `{other}`")),
         }
     }
@@ -260,12 +271,13 @@ pub struct CampaignConfig {
     /// are enabled.
     pub overflow_cell: bool,
     /// Add the cross-core conflict cells: TxCache/NVLLC × {sps,
-    /// hashtable} × sharing {2, 4} eighths on two cores, plus one
-    /// Optimal control at the highest fraction.
+    /// hashtable} × sharing {2, 4} eighths on two cores, plus one eADR
+    /// cell and one Optimal control at the highest fraction.
     pub sharing_cells: bool,
-    /// Add the wear-leveling cells: TxCache/NVLLC × {sps, hashtable} on
-    /// two cores with start-gap remapping on, proving recovery
-    /// reconstructs the remap table from the crash snapshot.
+    /// Add the wear-leveling cells: TxCache/NVLLC × {sps, hashtable}
+    /// plus one eADR cell on two cores with start-gap remapping on,
+    /// proving recovery reconstructs the remap table from the crash
+    /// snapshot.
     pub wear_cells: bool,
     /// Deliberate recovery defect (mutation testing); [`Mutation::None`]
     /// in CI.
@@ -363,6 +375,22 @@ impl CampaignConfig {
                     }
                 }
             }
+            // One eADR contention cell: crashes inside cross-core
+            // conflict windows where the losing core's drained-but-
+            // uncommitted stores must roll back to the *winner's*
+            // committed values, not the initial image.
+            if self.schemes.contains(&SchemeKind::Eadr)
+                && self.workloads.contains(&WorkloadKind::Sps)
+            {
+                out.push(CellSpec {
+                    workload: WorkloadKind::Sps,
+                    scheme: SchemeKind::Eadr,
+                    cores: 2,
+                    tc_entries: None,
+                    sharing: 4,
+                    wear: false,
+                });
+            }
             if self.schemes.contains(&SchemeKind::Optimal)
                 && self.workloads.contains(&WorkloadKind::Sps)
             {
@@ -394,6 +422,22 @@ impl CampaignConfig {
                         wear: true,
                     });
                 }
+            }
+            // One eADR wear cell: the flush-on-failure drain happens in
+            // logical line space and must compose with the start-gap
+            // remap — the snapshot stores the drained image in device
+            // rows, so recovery must invert the remap *and* roll back.
+            if self.schemes.contains(&SchemeKind::Eadr)
+                && self.workloads.contains(&WorkloadKind::Sps)
+            {
+                out.push(CellSpec {
+                    workload: WorkloadKind::Sps,
+                    scheme: SchemeKind::Eadr,
+                    cores: 2,
+                    tc_entries: None,
+                    sharing: 0,
+                    wear: true,
+                });
             }
         }
         out
@@ -1133,7 +1177,12 @@ mod tests {
 
     #[test]
     fn mutation_parses_and_displays() {
-        for m in [Mutation::None, Mutation::DropCommittedTc, Mutation::SkipCowReplay] {
+        for m in [
+            Mutation::None,
+            Mutation::DropCommittedTc,
+            Mutation::SkipCowReplay,
+            Mutation::KeepUncommittedEadr,
+        ] {
             assert_eq!(m.to_string().parse::<Mutation>().unwrap(), m);
         }
         assert!("bogus".parse::<Mutation>().is_err());
@@ -1162,6 +1211,16 @@ mod tests {
         let doc = Json::parse(&wl.to_json().to_pretty()).unwrap();
         assert_eq!(Reproducer::from_json(&doc).unwrap(), wl);
         assert!(r.to_json().get("wear").is_none());
+        // The eADR scheme tag and its mutation round-trip too.
+        let eadr = Reproducer {
+            name: "eadr-sps-c1-s42-cy123".into(),
+            scheme: SchemeKind::Eadr,
+            tc_entries: None,
+            mutation: Mutation::KeepUncommittedEadr,
+            ..r.clone()
+        };
+        let doc = Json::parse(&eadr.to_json().to_pretty()).unwrap();
+        assert_eq!(Reproducer::from_json(&doc).unwrap(), eadr);
     }
 
     #[test]
@@ -1169,21 +1228,24 @@ mod tests {
         let cfg = CampaignConfig::quick(1);
         let cells = cfg.cells();
         // Cross product, the overflow cell, 2 workloads × 2 schemes × 2
-        // fractions of sharing cells, the Optimal sharing control, and
-        // 2 workloads × 2 schemes of wear-leveling cells.
+        // fractions of sharing cells plus the eADR sharing cell and the
+        // Optimal sharing control, and 2 workloads × 2 schemes of
+        // wear-leveling cells plus the eADR wear cell.
         assert_eq!(
             cells.len(),
-            SchemeKind::all().len() * WorkloadKind::all().len() * 2 + 1 + 8 + 1 + 4
+            SchemeKind::all().len() * WorkloadKind::all().len() * 2 + 1 + 9 + 1 + 5
         );
         let overflow = &cells[SchemeKind::all().len() * WorkloadKind::all().len() * 2];
         assert_eq!(overflow.tc_entries, Some(OVERFLOW_TC_ENTRIES));
         assert_eq!(overflow.scheme, SchemeKind::TxCache);
         let sharing: Vec<&CellSpec> = cells.iter().filter(|c| c.sharing > 0).collect();
-        assert_eq!(sharing.len(), 9);
+        assert_eq!(sharing.len(), 10);
         assert!(sharing.iter().all(|c| c.cores == 2));
         assert_eq!(sharing.last().unwrap().scheme, SchemeKind::Optimal);
+        assert_eq!(sharing[sharing.len() - 2].scheme, SchemeKind::Eadr);
         let wear: Vec<&CellSpec> = cells.iter().filter(|c| c.wear).collect();
-        assert_eq!(wear.len(), 4);
+        assert_eq!(wear.len(), 5);
+        assert_eq!(wear.last().unwrap().scheme, SchemeKind::Eadr);
         assert!(wear.iter().all(|c| c.expect_consistent()));
         assert!(wear
             .iter()

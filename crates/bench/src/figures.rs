@@ -28,6 +28,7 @@ fn scheme_label(s: SchemeKind) -> &'static str {
         SchemeKind::TxCache => "TC (this work)",
         SchemeKind::NvLlc => "NVLLC",
         SchemeKind::Optimal => "Optimal",
+        SchemeKind::Eadr => "eADR",
     }
 }
 
@@ -261,7 +262,13 @@ pub fn recovery_table(scale: Scale, seed: u64, opts: &Options) -> Result<FigTabl
         ],
     );
     let params = scale.params(seed);
-    let schemes = [SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc, SchemeKind::Optimal];
+    let schemes = [
+        SchemeKind::Sp,
+        SchemeKind::TxCache,
+        SchemeKind::NvLlc,
+        SchemeKind::Optimal,
+        SchemeKind::Eadr,
+    ];
     // Each scheme's pair of runs (full, then crashed halfway) is an
     // independent job; the two runs within a job stay sequential because
     // the crash point depends on the full run's cycle count.

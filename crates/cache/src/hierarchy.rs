@@ -523,6 +523,34 @@ impl Hierarchy {
         lines.len() as u64
     }
 
+    /// The distinct persistent lines that are dirty anywhere in the
+    /// hierarchy, sorted and deduplicated across levels — the lines an
+    /// eADR-style flush-on-failure drain would push to NVM at power loss.
+    /// Unlike [`Hierarchy::residual_persistent_dirty_lines`] this returns
+    /// the addresses themselves, so the crash model can materialize their
+    /// architectural values into the NVM image.
+    #[must_use]
+    pub fn dirty_persistent_lines(&self) -> Vec<LineAddr> {
+        let mut lines = std::collections::HashSet::new();
+        for core in 0..self.l1.len() {
+            for arr in [&self.l1[core], &self.l2[core]] {
+                for (addr, l) in arr.iter_valid() {
+                    if l.state.is_dirty() && l.persistent {
+                        lines.insert(addr);
+                    }
+                }
+            }
+        }
+        for (addr, l) in self.llc.iter_valid() {
+            if l.state.is_dirty() && l.persistent {
+                lines.insert(addr);
+            }
+        }
+        let mut out: Vec<LineAddr> = lines.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Checks the directory invariant exactly: for every LLC line, bit
     /// `c` of its sharer bitmap is set iff core `c` holds a private (L1
     /// or L2) copy, and no private copy exists without its LLC line

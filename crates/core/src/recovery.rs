@@ -2,7 +2,9 @@
 //!
 //! A simulated crash keeps only what the hardware keeps: the NVM image,
 //! the STT-RAM transaction caches (data *and* state bits, Table 1), the
-//! NVLLC's committed lines and the durable COW areas. Each scheme's
+//! NVLLC's committed lines, the durable COW areas and — under eADR —
+//! the flush-on-failure drain of every dirty cache line plus the per-core
+//! undo logs. Each scheme's
 //! recovery procedure rebuilds a consistent NVM image from those, and
 //! [`check_recovery`] verifies the result equals replaying exactly the
 //! transactions that committed before the crash — all-or-nothing, in
@@ -80,6 +82,13 @@ pub struct CrashState {
     /// became durable but `TX_END` had not retired — or not at all;
     /// recovering it partially is an atomicity violation.
     pub in_flight: Vec<Option<TxRecord>>,
+    /// Per-core eADR undo log: the first-write pre-image of every heap
+    /// word the core's in-flight transaction has overwritten, in address
+    /// order. Durable alongside the drained caches (the residual-energy
+    /// budget covers it), and empty for every other scheme — under eADR
+    /// uncommitted stores *do* persist, so rollback needs these
+    /// pre-images to restore the committed image.
+    pub eadr_undo: Vec<Vec<(WordAddr, Word)>>,
 }
 
 impl CrashState {
@@ -199,6 +208,20 @@ pub fn recover(state: &CrashState) -> Backing {
                 nvm.write_word(w, v);
             }
         }
+        SchemeKind::Eadr => {
+            // The flush-on-failure drain persisted every dirty line —
+            // including the stores of transactions that never committed.
+            // Roll those back with the durable undo log: each in-flight
+            // transaction's first-write pre-images restore exactly the
+            // committed image (the conflict gate serializes cross-core
+            // writers of a line, so a pre-image is always the latest
+            // committed value of its word).
+            for undo in &state.eadr_undo {
+                for &(w, v) in undo {
+                    nvm.write_word(w, v);
+                }
+            }
+        }
     }
     nvm
 }
@@ -280,6 +303,14 @@ pub fn recovery_cost(
             // walks the tag array to discard uncommitted lines; no data
             // moves.
             cost.words_scanned += machine.llc.lines();
+        }
+        SchemeKind::Eadr => {
+            // Walk each core's durable undo log (address + pre-image word
+            // per record) and write the pre-images back.
+            for undo in &state.eadr_undo {
+                cost.words_scanned += 2 * undo.len() as u64;
+                cost.words_replayed += undo.len() as u64;
+            }
         }
     }
     let lines_scanned = cost.words_scanned.div_ceil(WORDS_PER_LINE as u64);
@@ -426,6 +457,7 @@ mod tests {
             cow: vec![Vec::new()],
             journal: Vec::new(),
             in_flight: vec![None],
+            eadr_undo: vec![Vec::new()],
         }
     }
 
@@ -505,6 +537,52 @@ mod tests {
         let rec = recover(&st);
         assert_eq!(rec.read_word(heap_word(3)), 11);
         check_recovery(&st, &rec).unwrap();
+    }
+
+    #[test]
+    fn eadr_recovery_rolls_back_uncommitted_drained_stores() {
+        let mut st = base_state(SchemeKind::Eadr);
+        // A committed transaction wrote word 0 = 7 (drained to NVM), then
+        // an in-flight one overwrote it with 99 and wrote word 1 = 55;
+        // the flush-on-failure drain persisted both uncommitted stores.
+        st.journal.push(TxRecord {
+            tx: TxId::new(0, 0),
+            commit_cycle: 10,
+            writes: vec![(heap_word(0), 7)],
+        });
+        st.in_flight[0] = Some(TxRecord {
+            tx: TxId::new(0, 1),
+            commit_cycle: 100,
+            writes: vec![(heap_word(0), 99), (heap_word(1), 55)],
+        });
+        st.nvm.write_word(heap_word(0), 99);
+        st.nvm.write_word(heap_word(1), 55);
+        // The undo log holds the first-write pre-images.
+        st.eadr_undo[0] = vec![(heap_word(0), 7), (heap_word(1), 0)];
+        let rec = recover(&st);
+        assert_eq!(rec.read_word(heap_word(0)), 7, "rolled back to committed");
+        assert_eq!(rec.read_word(heap_word(1)), 0, "rolled back to initial");
+        check_recovery(&st, &rec).unwrap();
+        // Skipping rollback when the crash fell *after* the transaction's
+        // last store is legitimate: the image is the whole in-flight
+        // transaction applied, which the checker's all-or-nothing
+        // acceptance allows.
+        let mut mutated = st.clone();
+        mutated.eadr_undo[0].clear();
+        let rec = recover(&mutated);
+        check_recovery(&mutated, &rec).unwrap();
+        // But at a mid-transaction crash only a prefix of the write set
+        // has drained (word 1 was never stored), so skipping rollback
+        // leaves a torn image the checker must reject — this is what the
+        // crashgrid `keep-uncommitted-eadr` mutation exercises end to end.
+        let mut partial = st.clone();
+        partial.eadr_undo[0] = vec![(heap_word(0), 7)];
+        partial.nvm.write_word(heap_word(1), 0);
+        let rec = recover(&partial);
+        check_recovery(&partial, &rec).unwrap();
+        partial.eadr_undo[0].clear();
+        let rec = recover(&partial);
+        check_recovery(&partial, &rec).unwrap_err();
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! The four persistence schemes compared in §5 of the paper.
+//! The four persistence schemes compared in §5 of the paper, plus the
+//! eADR flush-on-failure upper bound.
 //!
 //! A scheme is two things:
 //!
 //! 1. **Trace instrumentation** — what extra instructions software must
 //!    execute. Only `SP` instruments anything (write-ahead logging with
-//!    `clwb`/`sfence` write-order control, Figure 3a); `Optimal`, `TC` and
-//!    `NVLLC` run the raw trace, because their persistence support (none /
-//!    transaction cache / nonvolatile LLC) is in hardware.
+//!    `clwb`/`sfence` write-order control, Figure 3a); `Optimal`, `TC`,
+//!    `NVLLC` and `eADR` run the raw trace, because their persistence
+//!    support (none / transaction cache / nonvolatile LLC / residual-energy
+//!    cache drain) is in hardware.
 //! 2. **Runtime behaviour** — how the system layer routes stores, commits
 //!    and LLC evictions. That half lives in [`crate::System`], keyed by
 //!    [`SchemeKind`].
@@ -39,6 +41,8 @@ use pmacc_types::SchemeKind;
 pub fn instrument(scheme: SchemeKind, core: usize, trace: &Trace) -> Trace {
     match scheme {
         SchemeKind::Sp => sp::instrument(core, trace),
-        SchemeKind::Optimal | SchemeKind::TxCache | SchemeKind::NvLlc => trace.clone(),
+        SchemeKind::Optimal | SchemeKind::TxCache | SchemeKind::NvLlc | SchemeKind::Eadr => {
+            trace.clone()
+        }
     }
 }

@@ -378,6 +378,14 @@ pub struct System {
     /// `line` is in `cores[c].tx_lines`; the conflict check reads this map
     /// instead of scanning every remote core's write-set list.
     tx_writers: FxHashMap<LineAddr, u64>,
+    /// eADR only: per core, the first-write pre-image of every persistent
+    /// word the in-flight transaction has overwritten. Under eADR an
+    /// uncommitted store is durable the moment it is written, so rollback
+    /// after a crash needs these pre-images; the log is modeled as part
+    /// of the residual-energy-protected domain and exported by
+    /// [`System::crash_state`]. Cleared at commit; empty for every other
+    /// scheme.
+    eadr_undo: Vec<FxHashMap<WordAddr, Word>>,
     /// Cycle at which measurement started (after warm-up, if any).
     measure_start: Cycle,
     warmup_done: bool,
@@ -500,6 +508,7 @@ impl System {
             shared_word_base: layout::shared_pool_base().word().raw(),
             shared_word_end: layout::extended_heap_base().word().raw(),
             tx_writers: FxHashMap::default(),
+            eadr_undo: vec![FxHashMap::default(); cfg.cores],
             tx_write_table,
             measure_start: 0,
             warmup_done: false,
@@ -998,7 +1007,10 @@ impl System {
             SchemeKind::TxCache => 0,
             // Uncommitted (pinned/tagged) lines are not owed to the NVM.
             SchemeKind::NvLlc => self.hier.residual_persistent_dirty_lines(true),
-            SchemeKind::Optimal | SchemeKind::Sp => {
+            // eADR caches are ordinary write-back caches in normal
+            // operation (the drain only happens at power loss), so their
+            // dirty lines are still owed to the NVM like Optimal's.
+            SchemeKind::Optimal | SchemeKind::Sp | SchemeKind::Eadr => {
                 self.hier.residual_persistent_dirty_lines(false)
             }
         };
@@ -1025,8 +1037,10 @@ impl System {
 
     /// Snapshots the durable state at the current cycle — what survives a
     /// power failure: the NVM image, the STT-RAM transaction caches, the
-    /// NVLLC committed-line image and the COW areas — together with the
-    /// golden journal the checker compares against.
+    /// NVLLC committed-line image, the COW areas and (under eADR) the
+    /// flush-on-failure drain of every dirty cache line plus the per-core
+    /// undo logs — together with the golden journal the checker compares
+    /// against.
     ///
     /// With wear leveling on, the NVM image is stored in *device row*
     /// space (translated through the remapper's current registers) plus
@@ -1035,9 +1049,40 @@ impl System {
     #[must_use]
     pub fn crash_state(&self) -> CrashState {
         let wear = self.nvm.wear_snapshot();
+        // eADR: residual energy drains every dirty persistent line in
+        // L1/L2/LLC to the NVM at power loss, so the crash image sees
+        // them as-if-flushed — committed or not. The memory-controller
+        // queues were already inside the ADR domain, so write-backs still
+        // in flight (queued, or parked awaiting queue room) drain first,
+        // oldest request id to newest — a line evicted twice lands its
+        // newest snapshot last — and the cache drain lands newest of all.
+        // The whole drain operates on logical line addresses (same path
+        // as a write-back), so it composes *before* the wear remap
+        // translates the image into device rows.
+        let mut logical = self.nvm_backing.clone();
+        if self.cfg.scheme == SchemeKind::Eadr {
+            let mut pending: Vec<(ReqId, LineAddr, [Word; WORDS_PER_LINE])> = self
+                .origins
+                .iter()
+                .filter_map(|(&id, origin)| match origin {
+                    Origin::Writeback { line, words } if line.is_persistent() => {
+                        Some((id, *line, *words))
+                    }
+                    _ => None,
+                })
+                .collect();
+            pending.sort_unstable_by_key(|&(id, _, _)| id);
+            for (_, line, words) in pending {
+                logical.write_line(line, &words);
+            }
+            for line in self.hier.dirty_persistent_lines() {
+                let words = self.snapshot_volatile(line);
+                logical.write_line(line, &words);
+            }
+        }
         let nvm = match &wear {
-            Some(snap) => snap.to_device(&self.nvm_backing),
-            None => self.nvm_backing.clone(),
+            Some(snap) => snap.to_device(&logical),
+            None => logical,
         };
         CrashState {
             cycle: self.clock,
@@ -1059,6 +1104,16 @@ impl System {
                         commit_cycle: self.clock,
                         writes: self.oracle_writes(c, tx),
                     })
+                })
+                .collect(),
+            eadr_undo: self
+                .eadr_undo
+                .iter()
+                .map(|m| {
+                    let mut v: Vec<(WordAddr, Word)> =
+                        m.iter().map(|(&w, &val)| (w, val)).collect();
+                    v.sort_unstable_by_key(|&(w, _)| w);
+                    v
                 })
                 .collect(),
         }
@@ -1441,6 +1496,19 @@ impl System {
         self.note_invalidations(&outcome.invalidated);
         self.route_evictions(outcome.evictions);
 
+        // eADR undo log, first write wins: capture the pre-image of each
+        // word the in-flight transaction overwrites *before* the store
+        // lands in architectural memory. Under eADR the store below is
+        // already durable (the failure drain will persist it), so this
+        // pre-image is what rollback restores if the transaction never
+        // commits. The conflict gate above serialized cross-core writers
+        // of this line, so the pre-image is the latest committed value.
+        if self.cfg.scheme == SchemeKind::Eadr && persistent && in_tx && kind == StoreKind::Data {
+            let w = addr.word();
+            let pre = self.volatile.get(&w).copied().unwrap_or(0);
+            self.eadr_undo[c].entry(w).or_insert(pre);
+        }
+
         // Functional: architectural memory state.
         self.volatile.insert(addr.word(), value);
 
@@ -1686,7 +1754,11 @@ impl System {
             let tx = self.cores[c].regs.end();
             self.cores[c].txend = Some((tx, None));
             match self.cfg.scheme {
-                SchemeKind::Optimal | SchemeKind::Sp => self.finish_txend(c),
+                // eADR commits are free: every store is already durable,
+                // so TX_END only has to publish the commit (retire the
+                // journal entry and release the conflict gate) — same
+                // instant-retirement path as Optimal and SP.
+                SchemeKind::Optimal | SchemeKind::Sp | SchemeKind::Eadr => self.finish_txend(c),
                 SchemeKind::TxCache => {
                     // The commit order is the journal index this
                     // transaction takes: `finish_txend` pushes it within
@@ -1750,6 +1822,9 @@ impl System {
         self.record_boundary(BoundaryClass::TxEnd);
         self.cores[c].tx_writes.clear();
         self.clear_tx_lines(c);
+        // The committed transaction's eADR undo pre-images are dead: its
+        // stores are now the committed image.
+        self.eadr_undo[c].clear();
         // This retirement is exactly when a remote core stalled on one of
         // this transaction's lines may proceed, so wake Conflict-blocked
         // cores now instead of leaving them to the periodic retry

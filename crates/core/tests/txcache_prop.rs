@@ -656,6 +656,7 @@ fn crash_snapshot_recovers_through_ring_wrap_holes() {
                 cow: vec![Vec::new()],
                 journal: journal.clone(),
                 in_flight: vec![in_flight],
+                eadr_undo: vec![Vec::new()],
             };
             let recovered = recover(&state);
             check_recovery(&state, &recovered).unwrap_or_else(|e| {

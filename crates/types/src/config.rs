@@ -24,17 +24,26 @@ pub enum SchemeKind {
     /// Kiln-style baseline: nonvolatile last-level cache with commit-time
     /// flushing and in-LLC multi-versioning ("NVLLC" in the figures).
     NvLlc,
+    /// eADR-style flush-on-failure upper bound: the whole cache hierarchy
+    /// is transiently persistent (residual energy drains every dirty line
+    /// on power loss), so stores are durable the moment they are written —
+    /// effectively a transaction cache of infinite capacity. Atomicity
+    /// still needs commit-ordered rollback of in-flight transactions.
+    Eadr,
 }
 
 impl SchemeKind {
-    /// All schemes in the order the paper's figures present them.
+    /// All schemes in the order the paper's figures present them, plus the
+    /// eADR upper bound appended after them (keeps pre-existing report
+    /// rows byte-identical).
     #[must_use]
-    pub fn all() -> [SchemeKind; 4] {
+    pub fn all() -> [SchemeKind; 5] {
         [
             SchemeKind::Sp,
             SchemeKind::TxCache,
             SchemeKind::NvLlc,
             SchemeKind::Optimal,
+            SchemeKind::Eadr,
         ]
     }
 
@@ -52,6 +61,7 @@ impl fmt::Display for SchemeKind {
             SchemeKind::Sp => "sp",
             SchemeKind::TxCache => "tc",
             SchemeKind::NvLlc => "nvllc",
+            SchemeKind::Eadr => "eadr",
         };
         f.write_str(s)
     }
@@ -66,6 +76,7 @@ impl FromStr for SchemeKind {
             "sp" | "log" | "software" => Ok(SchemeKind::Sp),
             "tc" | "txcache" | "tx-cache" => Ok(SchemeKind::TxCache),
             "nvllc" | "nv-llc" | "kiln" => Ok(SchemeKind::NvLlc),
+            "eadr" | "e-adr" | "flush-on-failure" => Ok(SchemeKind::Eadr),
             other => Err(ConfigError::new(format!("unknown scheme `{other}`"))),
         }
     }

@@ -34,6 +34,14 @@ const MUTATION_REPRODUCERS: &[&str] = &[
     // skip-cow-replay: recovery never applies committed COW shadows.
     r#"{"name": "tc-rbtree-c1-s42-cy4622", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 4622, "mutation": "skip-cow-replay"}"#,
     r#"{"name": "tc-rbtree-c1-tc4-s42-cy4338", "scheme": "tc", "workload": "rbtree", "cores": 1, "tc_entries": 4, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 4338, "mutation": "skip-cow-replay"}"#,
+    // keep-uncommitted-eadr: eADR recovery skips rolling back the
+    // flush-on-failure drain of uncommitted in-flight transactions.
+    // Catchable only at mid-transaction crashes — with the whole write
+    // set drained the checker rightly accepts the completed transaction
+    // — so these pin the sharpest windows the minimizer found.
+    r#"{"name": "eadr-graph-c1-s42-cy323", "scheme": "eadr", "workload": "graph", "cores": 1, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 323, "mutation": "keep-uncommitted-eadr"}"#,
+    r#"{"name": "eadr-rbtree-c2-s42-cy5404", "scheme": "eadr", "workload": "rbtree", "cores": 2, "tc_entries": null, "num_ops": 12, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 5404, "mutation": "keep-uncommitted-eadr"}"#,
+    r#"{"name": "eadr-hashtable-c2-s42-cy7926", "scheme": "eadr", "workload": "hashtable", "cores": 2, "tc_entries": null, "num_ops": 50, "setup_items": 100, "key_space": 500, "insert_ratio": 50, "seed": 42, "crash_cycle": 7926, "mutation": "keep-uncommitted-eadr"}"#,
 ];
 
 fn parse(raw: &str) -> Reproducer {

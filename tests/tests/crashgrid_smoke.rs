@@ -70,13 +70,15 @@ fn quick_campaign_is_dense_and_consistent_across_all_schemes() {
             );
         }
     }
-    // The wear-leveling cells are present (TC and NVLLC, two workloads)
-    // and clean: recovery reconstructed the remap table from the crash
-    // snapshot at every point — their violations are counted in the
-    // per-cell loop above like any expect-consistent cell.
+    // The wear-leveling cells are present (TC and NVLLC across two
+    // workloads, plus the eADR drain∘remap cell) and clean: recovery
+    // reconstructed the remap table from the crash snapshot at every
+    // point — their violations are counted in the per-cell loop above
+    // like any expect-consistent cell.
     let wear_cells: Vec<_> = report.cells.iter().filter(|c| c.spec.wear).collect();
-    assert_eq!(wear_cells.len(), 4, "wear-leveling cells missing");
+    assert_eq!(wear_cells.len(), 5, "wear-leveling cells missing");
     assert!(wear_cells.iter().all(|c| c.expect_consistent));
+    assert!(wear_cells.iter().any(|c| c.spec.scheme == SchemeKind::Eadr));
 
     // The checker has teeth: the Optimal control must trip it somewhere.
     assert!(
@@ -139,6 +141,38 @@ fn report_bytes_are_invariant_to_worker_count() {
         serial.to_json().to_pretty(),
         fanned.to_json().to_pretty(),
         "report must be byte-identical at --jobs 1 vs --jobs 4"
+    );
+}
+
+#[test]
+fn keep_uncommitted_eadr_mutation_is_caught_and_minimized() {
+    // The eADR oracle has teeth: recovery that keeps the drained stores
+    // of uncommitted in-flight transactions (skipping undo rollback)
+    // must violate atomicity at some mid-transaction crash point, and
+    // the minimizer must shrink it to a self-contained reproducer.
+    let mut cfg = CampaignConfig::quick(42);
+    cfg.schemes = vec![SchemeKind::Eadr];
+    cfg.workloads = vec![WorkloadKind::Graph];
+    cfg.core_counts = vec![1];
+    cfg.overflow_cell = false;
+    cfg.mutation = Mutation::KeepUncommittedEadr;
+    let report = run_campaign(&cfg, &opts(2)).expect("campaign runs");
+    assert!(
+        report.total_violations() > 0,
+        "skipping eADR undo rollback must violate the oracle"
+    );
+    let repro = report
+        .reproducers
+        .first()
+        .expect("violating eADR cell is minimized into a reproducer");
+    assert_eq!(repro.scheme, SchemeKind::Eadr);
+    assert_eq!(repro.mutation, Mutation::KeepUncommittedEadr);
+    assert!(repro.replay().is_err(), "reproducer must still fail");
+    let mut fixed = repro.clone();
+    fixed.mutation = Mutation::None;
+    assert!(
+        fixed.replay().is_ok(),
+        "the same crash point must be consistent with rollback intact"
     );
 }
 

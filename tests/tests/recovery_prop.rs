@@ -8,7 +8,12 @@ use pmacc_prop::Config;
 use pmacc_types::{MachineConfig, SchemeKind};
 use pmacc_workloads::{WorkloadKind, WorkloadParams};
 
-const SCHEMES: [SchemeKind; 3] = [SchemeKind::Sp, SchemeKind::TxCache, SchemeKind::NvLlc];
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Sp,
+    SchemeKind::TxCache,
+    SchemeKind::NvLlc,
+    SchemeKind::Eadr,
+];
 
 const WORKLOADS: [WorkloadKind; 5] = [
     WorkloadKind::Graph,

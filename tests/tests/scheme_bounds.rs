@@ -1,0 +1,95 @@
+//! eADR brackets the paper's schemes from above: with the whole cache
+//! hierarchy transiently persistent, every store is durable the moment
+//! it is written — a transaction cache of infinite capacity. On every
+//! quick-grid cell that upper bound must hold numerically (eADR IPC ≥
+//! TC IPC) and structurally (no transaction-cache pressure, no commit
+//! flushes, no drain stalls, no overflows — the counters that exist
+//! only because real persistence hardware is finite).
+
+use pmacc::RunConfig;
+use pmacc_bench::grid::{run_grid_opts, Scale};
+use pmacc_bench::pool::Options;
+use pmacc_cpu::StallKind;
+use pmacc_types::SchemeKind;
+use pmacc_workloads::WorkloadKind;
+
+#[test]
+fn eadr_is_an_upper_bound_on_tc_across_the_quick_grid() {
+    let grid = run_grid_opts(
+        Scale::Quick,
+        42,
+        &RunConfig::default(),
+        &Options {
+            jobs: 4,
+            progress: false,
+        },
+    )
+    .expect("quick grid runs");
+
+    for kind in WorkloadKind::all() {
+        let eadr = grid.get(kind, SchemeKind::Eadr);
+        let tc = grid.get(kind, SchemeKind::TxCache);
+        let optimal = grid.get(kind, SchemeKind::Optimal);
+
+        // Numeric upper bound: the TC approximates infinite-capacity
+        // buffering, so it may tie eADR (the paper's point) but never
+        // beat it.
+        assert!(
+            eadr.ipc() >= tc.ipc(),
+            "{kind}: eADR IPC {} below TC IPC {}",
+            eadr.ipc(),
+            tc.ipc()
+        );
+        // eADR adds *nothing* to the native timing path — it must match
+        // Optimal exactly, not merely beat TC.
+        assert_eq!(
+            eadr.cycles, optimal.cycles,
+            "{kind}: eADR cycle count diverged from Optimal"
+        );
+        assert_eq!(
+            eadr.total_committed(),
+            tc.total_committed(),
+            "{kind}: schemes committed different transaction counts"
+        );
+
+        // Structural upper bound: every finite-capacity artifact is zero.
+        assert_eq!(eadr.tc_overflows(), 0, "{kind}: eADR overflowed a TC");
+        for core in &eadr.cores {
+            assert_eq!(
+                core.stall(StallKind::TxCacheFull),
+                0,
+                "{kind}: eADR stalled on a full transaction cache"
+            );
+            assert_eq!(
+                core.stall(StallKind::CommitFlush),
+                0,
+                "{kind}: eADR performed a blocking commit flush"
+            );
+            assert_eq!(
+                core.stall(StallKind::PinBlocked),
+                0,
+                "{kind}: eADR blocked on a pinned LLC set"
+            );
+            assert_eq!(
+                core.stall(StallKind::Fence),
+                0,
+                "{kind}: eADR executed ordering fences"
+            );
+            // Private striped instances: the conflict gate stays live
+            // under eADR but must be inert without sharing (no aborts,
+            // no serialization stalls).
+            assert_eq!(
+                core.tx_conflicts.value(),
+                0,
+                "{kind}: eADR hit cross-core conflicts on disjoint data"
+            );
+        }
+        for tc_stats in &eadr.tc {
+            assert_eq!(
+                tc_stats.inserts.value(),
+                0,
+                "{kind}: eADR routed stores into a transaction cache"
+            );
+        }
+    }
+}
